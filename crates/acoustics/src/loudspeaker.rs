@@ -1,0 +1,128 @@
+//! Playback-device (loudspeaker) model.
+//!
+//! Replay, voice-synthesis and hidden-voice attacks are all delivered
+//! through a loudspeaker (the paper uses a Razer Sound Bar RC30 placed
+//! 10 cm behind the barrier). The model captures the two properties that
+//! matter downstream: a band-limited frequency response and mild harmonic
+//! distortion — both of which are also what audio-domain replay detectors
+//! key on.
+
+use thrubarrier_dsp::fft;
+
+/// A loudspeaker with band limits and soft-clipping distortion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Loudspeaker {
+    /// Low cutoff of the reproduction band in Hz.
+    pub low_hz: f32,
+    /// High cutoff of the reproduction band in Hz.
+    pub high_hz: f32,
+    /// Soft-clip drive (0 = perfectly linear).
+    pub distortion: f32,
+}
+
+impl Loudspeaker {
+    /// A small sound-bar similar to the paper's Razer RC30.
+    pub fn sound_bar() -> Self {
+        Loudspeaker {
+            low_hz: 90.0,
+            high_hz: 18_000.0,
+            distortion: 0.08,
+        }
+    }
+
+    /// A small portable speaker with a narrower band and more
+    /// distortion.
+    pub fn portable() -> Self {
+        Loudspeaker {
+            low_hz: 180.0,
+            high_hz: 10_000.0,
+            distortion: 0.2,
+        }
+    }
+
+    /// Plays a signal through the speaker: band-limits it and applies
+    /// soft-clipping (tanh) distortion that introduces odd harmonics.
+    pub fn play(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
+        let lo = self.low_hz;
+        let hi = self.high_hz.min(sample_rate as f32 / 2.0 * 0.98);
+        let band = fft::apply_frequency_response(signal, sample_rate, move |f| {
+            if f < lo {
+                (f / lo).powi(2)
+            } else if f > hi {
+                (hi / f).powi(2)
+            } else {
+                1.0
+            }
+        });
+        if self.distortion <= 0.0 {
+            return band;
+        }
+        // Soft clip around the signal's own scale so distortion is
+        // level-independent.
+        let peak = thrubarrier_dsp::stats::peak(&band).max(1e-9);
+        let drive = 1.0 + 4.0 * self.distortion;
+        band.iter()
+            .map(|&x| {
+                let y = (x / peak * drive).tanh() / drive.tanh();
+                y * peak
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thrubarrier_dsp::{fft::magnitude_spectrum, gen, stats};
+
+    #[test]
+    fn in_band_tone_passes() {
+        let sp = Loudspeaker::sound_bar();
+        let tone = gen::sine(1_000.0, 0.5, 16_000, 0.5);
+        let out = sp.play(&tone, 16_000);
+        assert!((stats::rms(&out) - stats::rms(&tone)).abs() / stats::rms(&tone) < 0.15);
+    }
+
+    #[test]
+    fn sub_band_tone_is_attenuated() {
+        let sp = Loudspeaker::portable();
+        let tone = gen::sine(50.0, 0.5, 16_000, 0.5);
+        let out = sp.play(&tone, 16_000);
+        assert!(stats::rms(&out) < 0.2 * stats::rms(&tone));
+    }
+
+    #[test]
+    fn distortion_creates_odd_harmonics() {
+        let sp = Loudspeaker {
+            low_hz: 50.0,
+            high_hz: 8_000.0,
+            distortion: 0.5,
+        };
+        let tone = gen::sine(500.0, 0.5, 16_000, 0.5);
+        let out = sp.play(&tone, 16_000);
+        let mags = magnitude_spectrum(&out, 8_192);
+        let bin = |hz: f32| (hz / 16_000.0 * 8_192.0).round() as usize;
+        let fundamental = mags[bin(500.0)];
+        let third = mags[bin(1_500.0) - 1..bin(1_500.0) + 2]
+            .iter()
+            .cloned()
+            .fold(0.0f32, f32::max);
+        assert!(third > fundamental * 0.01, "no third harmonic generated");
+    }
+
+    #[test]
+    fn linear_speaker_adds_no_harmonics() {
+        let sp = Loudspeaker {
+            low_hz: 50.0,
+            high_hz: 8_000.0,
+            distortion: 0.0,
+        };
+        let tone = gen::sine(500.0, 0.5, 16_000, 0.5);
+        let out = sp.play(&tone, 16_000);
+        let mags = magnitude_spectrum(&out, 8_192);
+        let bin = |hz: f32| (hz / 16_000.0 * 8_192.0).round() as usize;
+        let fundamental = mags[bin(500.0)];
+        let third = mags[bin(1_500.0)];
+        assert!(third < fundamental * 0.01);
+    }
+}

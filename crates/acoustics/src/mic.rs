@@ -1,0 +1,141 @@
+//! Microphone models.
+
+use crate::propagation::spl_to_rms;
+use rand::Rng;
+use thrubarrier_dsp::AudioBuffer;
+
+/// A microphone: frequency band, self-noise floor and clipping.
+///
+/// Smart speakers carry sensitive far-field microphone arrays (modelled
+/// by a low noise floor and a small array gain); phone and wearable
+/// microphones are noisier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Microphone {
+    /// Equivalent input-noise level in dB SPL.
+    pub noise_floor_spl_db: f32,
+    /// Gain applied by array beamforming / AGC front-ends, in dB.
+    pub array_gain_db: f32,
+    /// Low-frequency roll-off corner in Hz.
+    pub highpass_hz: f32,
+}
+
+impl Microphone {
+    /// A far-field array microphone (smart-speaker class).
+    pub fn far_field_array() -> Self {
+        Microphone {
+            noise_floor_spl_db: 33.0,
+            array_gain_db: 6.0,
+            highpass_hz: 60.0,
+        }
+    }
+
+    /// A laptop-class microphone.
+    pub fn laptop() -> Self {
+        Microphone {
+            noise_floor_spl_db: 43.0,
+            array_gain_db: 2.0,
+            highpass_hz: 70.0,
+        }
+    }
+
+    /// A phone-class microphone (shorter intended pickup range).
+    pub fn phone() -> Self {
+        Microphone {
+            noise_floor_spl_db: 41.0,
+            array_gain_db: 0.0,
+            highpass_hz: 80.0,
+        }
+    }
+
+    /// A wearable (smartwatch) microphone.
+    pub fn wearable() -> Self {
+        Microphone {
+            noise_floor_spl_db: 43.0,
+            array_gain_db: 0.0,
+            highpass_hz: 80.0,
+        }
+    }
+
+    /// Records an incident pressure signal: applies the array gain and
+    /// high-pass roll-off, adds self-noise, and clips at full scale.
+    pub fn record<R: Rng + ?Sized>(
+        &self,
+        incident: &[f32],
+        sample_rate: u32,
+        rng: &mut R,
+    ) -> AudioBuffer {
+        let gain = thrubarrier_dsp::stats::db_to_amplitude(self.array_gain_db);
+        let hp = self.highpass_hz;
+        let mut out =
+            thrubarrier_dsp::fft::apply_frequency_response(incident, sample_rate, move |f| {
+                // Gentle 2nd-order-like roll-off below the corner.
+                let r = if f < hp {
+                    let x = (f / hp).max(1e-3);
+                    x * x
+                } else {
+                    1.0
+                };
+                gain * r
+            });
+        let noise_std = spl_to_rms(self.noise_floor_spl_db);
+        for v in &mut out {
+            *v += noise_std * thrubarrier_dsp::gen::standard_normal(rng);
+            *v = v.clamp(-1.0, 1.0);
+        }
+        AudioBuffer::new(out, sample_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thrubarrier_dsp::{gen, stats};
+
+    #[test]
+    fn far_field_is_most_sensitive() {
+        let ff = Microphone::far_field_array();
+        let ph = Microphone::phone();
+        assert!(ff.noise_floor_spl_db < ph.noise_floor_spl_db);
+        assert!(ff.array_gain_db > ph.array_gain_db);
+    }
+
+    #[test]
+    fn record_adds_noise_floor() {
+        let mic = Microphone::phone();
+        let mut rng = StdRng::seed_from_u64(1);
+        let silence = vec![0.0f32; 16_000];
+        let rec = mic.record(&silence, 16_000, &mut rng);
+        let spl = crate::propagation::rms_to_spl(rec.rms());
+        assert!((spl - mic.noise_floor_spl_db).abs() < 1.0, "{spl}");
+    }
+
+    #[test]
+    fn record_applies_array_gain() {
+        let mic = Microphone::far_field_array();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tone = gen::sine(1_000.0, 0.1, 16_000, 0.5);
+        let rec = mic.record(&tone, 16_000, &mut rng);
+        let expected = 0.1 / 2f32.sqrt() * stats::db_to_amplitude(6.0);
+        assert!((rec.rms() - expected).abs() / expected < 0.1);
+    }
+
+    #[test]
+    fn record_rolls_off_subsonic_content() {
+        let mic = Microphone::phone();
+        let mut rng = StdRng::seed_from_u64(3);
+        let rumble = gen::sine(20.0, 0.5, 16_000, 0.5);
+        let rec = mic.record(&rumble, 16_000, &mut rng);
+        assert!(rec.rms() < 0.1 * stats::rms(&rumble));
+    }
+
+    #[test]
+    fn record_clips_at_full_scale() {
+        let mic = Microphone::phone();
+        let mut rng = StdRng::seed_from_u64(4);
+        let loud = gen::sine(1_000.0, 10.0, 16_000, 0.1);
+        let rec = mic.record(&loud, 16_000, &mut rng);
+        assert!(rec.peak() <= 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Sound-pressure-level calibration, spreading loss and travel delay.
+//!
+//! Calibration convention for the whole workspace: a digital RMS
+//! amplitude of `1.0` corresponds to 94 dB SPL (the standard 1 Pa
+//! microphone calibration point). Conversational speech at 65–75 dB SPL
+//! therefore has RMS amplitude ≈ 0.035–0.11.
+
+/// Speed of sound used for propagation delays, in m/s.
+pub const SPEED_OF_SOUND: f32 = 343.0;
+
+/// The SPL that maps to digital RMS 1.0.
+pub const REFERENCE_SPL_DB: f32 = 94.0;
+
+/// Converts a sound pressure level to the digital RMS amplitude of the
+/// calibration convention.
+///
+/// # Example
+///
+/// ```
+/// let a = thrubarrier_acoustics::propagation::spl_to_rms(94.0);
+/// assert!((a - 1.0).abs() < 1e-6);
+/// ```
+pub fn spl_to_rms(spl_db: f32) -> f32 {
+    10f32.powf((spl_db - REFERENCE_SPL_DB) / 20.0)
+}
+
+/// Converts a digital RMS amplitude back to dB SPL.
+pub fn rms_to_spl(rms: f32) -> f32 {
+    REFERENCE_SPL_DB + 20.0 * rms.max(1e-12).log10()
+}
+
+/// Scales a signal so that its RMS corresponds to `target_spl_db` at the
+/// point of emission. Returns the applied gain (0 for a silent input).
+pub fn calibrate_to_spl(signal: &mut [f32], target_spl_db: f32) -> f32 {
+    let rms = thrubarrier_dsp::stats::rms(signal);
+    if rms <= 0.0 {
+        return 0.0;
+    }
+    let gain = spl_to_rms(target_spl_db) / rms;
+    for v in signal.iter_mut() {
+        *v *= gain;
+    }
+    gain
+}
+
+/// Scales synthesized speech (whose reference-vowel RMS is
+/// [`thrubarrier_phoneme::synth::REFERENCE_RMS`]) so that the *passage*
+/// level matches `spl_db` while per-phoneme intrinsic intensity
+/// differences are preserved. Returns the gain to apply.
+pub fn speech_gain_for_spl(spl_db: f32) -> f32 {
+    spl_to_rms(spl_db) / thrubarrier_phoneme::synth::REFERENCE_RMS
+}
+
+/// Spherical-spreading amplitude gain from a source at `distance_m`
+/// relative to the 1 m reference distance. Distances below 0.2 m are
+/// clamped (near field).
+pub fn distance_gain(distance_m: f32) -> f32 {
+    1.0 / distance_m.max(0.2)
+}
+
+/// Propagation delay in whole samples for a path of `distance_m` at
+/// `sample_rate`.
+pub fn propagation_delay_samples(distance_m: f32, sample_rate: u32) -> usize {
+    (distance_m / SPEED_OF_SOUND * sample_rate as f32).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spl_roundtrip() {
+        for spl in [40.0, 65.0, 75.0, 85.0, 94.0] {
+            assert!((rms_to_spl(spl_to_rms(spl)) - spl).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conversational_speech_amplitude_range() {
+        assert!((spl_to_rms(65.0) - 0.0355).abs() < 0.002);
+        assert!((spl_to_rms(75.0) - 0.112).abs() < 0.005);
+    }
+
+    #[test]
+    fn calibrate_sets_rms() {
+        let mut sig: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.1).sin()).collect();
+        calibrate_to_spl(&mut sig, 70.0);
+        let spl = rms_to_spl(thrubarrier_dsp::stats::rms(&sig));
+        assert!((spl - 70.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn calibrate_silence_is_noop() {
+        let mut sig = vec![0.0f32; 10];
+        assert_eq!(calibrate_to_spl(&mut sig, 70.0), 0.0);
+        assert!(sig.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn distance_gain_follows_inverse_law() {
+        assert!((distance_gain(1.0) - 1.0).abs() < 1e-6);
+        assert!((distance_gain(2.0) - 0.5).abs() < 1e-6);
+        assert!((distance_gain(4.0) - 0.25).abs() < 1e-6);
+        // Near-field clamp.
+        assert_eq!(distance_gain(0.01), distance_gain(0.2));
+    }
+
+    #[test]
+    fn delay_scales_with_distance() {
+        let d1 = propagation_delay_samples(3.43, 16_000);
+        assert_eq!(d1, 160); // 10 ms at 16 kHz
+        assert_eq!(propagation_delay_samples(0.0, 16_000), 0);
+    }
+}

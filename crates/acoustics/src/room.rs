@@ -1,0 +1,230 @@
+//! Room models A–D from the paper's evaluation.
+//!
+//! Paper Sec. VII-A: four rooms — one residential apartment and three
+//! university offices — of sizes 7×6 m, 7×7 m, 6×4 m and 5×3 m. The
+//! barrier-material paragraph (Sec. VII-D) fixes the mapping: rooms A and
+//! D have glass barriers (window / wall), rooms B and C wooden doors.
+//! Each room contributes early reflections (image-source style first-order
+//! taps) and an ambient noise floor.
+
+use crate::barrier::{Barrier, BarrierMaterial};
+use crate::propagation::{propagation_delay_samples, spl_to_rms};
+use rand::Rng;
+
+/// The four evaluation rooms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoomId {
+    /// Residential apartment, 7×6 m, glass window.
+    A,
+    /// Office, 7×7 m, wooden door.
+    B,
+    /// Office, 6×4 m, wooden door.
+    C,
+    /// Office, 5×3 m, glass wall.
+    D,
+}
+
+impl RoomId {
+    /// All four rooms in order.
+    pub fn all() -> [RoomId; 4] {
+        [RoomId::A, RoomId::B, RoomId::C, RoomId::D]
+    }
+}
+
+impl std::fmt::Display for RoomId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoomId::A => write!(f, "Room A"),
+            RoomId::B => write!(f, "Room B"),
+            RoomId::C => write!(f, "Room C"),
+            RoomId::D => write!(f, "Room D"),
+        }
+    }
+}
+
+/// A room: dimensions, barrier and ambient noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Room {
+    /// Which evaluation room this is.
+    pub id: RoomId,
+    /// Floor dimensions `(width, length)` in metres.
+    pub size_m: (f32, f32),
+    /// The barrier separating the attacker from the room.
+    pub barrier: Barrier,
+    /// Ambient noise floor in dB SPL.
+    pub ambient_spl_db: f32,
+    /// Reflection coefficient of the walls (0 = anechoic).
+    pub reflectivity: f32,
+}
+
+impl Room {
+    /// Builds one of the paper's rooms.
+    pub fn paper_room(id: RoomId) -> Self {
+        match id {
+            RoomId::A => Room {
+                id,
+                size_m: (7.0, 6.0),
+                barrier: Barrier::new(BarrierMaterial::GlassWindow),
+                ambient_spl_db: 38.0,
+                reflectivity: 0.35,
+            },
+            RoomId::B => Room {
+                id,
+                size_m: (7.0, 7.0),
+                barrier: Barrier::new(BarrierMaterial::WoodenDoor),
+                ambient_spl_db: 40.0,
+                reflectivity: 0.30,
+            },
+            RoomId::C => Room {
+                id,
+                size_m: (6.0, 4.0),
+                barrier: Barrier::new(BarrierMaterial::WoodenDoor),
+                ambient_spl_db: 40.0,
+                reflectivity: 0.30,
+            },
+            RoomId::D => Room {
+                id,
+                size_m: (5.0, 3.0),
+                barrier: Barrier::new(BarrierMaterial::GlassWall),
+                ambient_spl_db: 42.0,
+                reflectivity: 0.40,
+            },
+        }
+    }
+
+    /// All four paper rooms.
+    pub fn all_paper_rooms() -> Vec<Room> {
+        RoomId::all().iter().map(|&id| Room::paper_room(id)).collect()
+    }
+
+    /// Applies first-order early reflections: one tap per wall pair with
+    /// distance-derived delay and reflectivity-scaled gain.
+    pub fn apply_reverb(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
+        self.apply_reverb_taps(signal, sample_rate, &[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0])
+    }
+
+    /// Early reflections for a *specific position* in the room: tap
+    /// delays and gains are jittered (±30 %), because image-source path
+    /// lengths depend on where source and receiver actually stand. Two
+    /// devices at different positions therefore hear different echo
+    /// patterns of the same sound.
+    pub fn apply_reverb_positioned<R: Rng + ?Sized>(
+        &self,
+        signal: &[f32],
+        sample_rate: u32,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let jd: Vec<f32> = (0..3).map(|_| rng.gen_range(0.7..1.3)).collect();
+        let jg: Vec<f32> = (0..3).map(|_| rng.gen_range(0.7..1.3)).collect();
+        self.apply_reverb_taps(signal, sample_rate, &jd, &jg)
+    }
+
+    fn apply_reverb_taps(
+        &self,
+        signal: &[f32],
+        sample_rate: u32,
+        delay_jitter: &[f32],
+        gain_jitter: &[f32],
+    ) -> Vec<f32> {
+        let (w, l) = self.size_m;
+        // Representative extra path lengths for first-order images.
+        let paths = [w * 0.9, l * 0.9, (w + l) * 0.7];
+        let mut out = signal.to_vec();
+        for (k, &extra) in paths.iter().enumerate() {
+            let extra = extra * delay_jitter[k % delay_jitter.len()];
+            let delay = propagation_delay_samples(extra, sample_rate);
+            let gain = self.reflectivity * 0.6f32.powi(k as i32) / (1.0 + extra)
+                * gain_jitter[k % gain_jitter.len()];
+            if delay == 0 {
+                continue;
+            }
+            let needed = signal.len() + delay;
+            if out.len() < needed {
+                out.resize(needed, 0.0);
+            }
+            for (i, &s) in signal.iter().enumerate() {
+                out[i + delay] += gain * s;
+            }
+        }
+        out
+    }
+
+    /// Adds the room's ambient noise floor to a signal in place.
+    pub fn add_ambient_noise<R: Rng + ?Sized>(&self, signal: &mut [f32], rng: &mut R) {
+        let std = spl_to_rms(self.ambient_spl_db);
+        for v in signal.iter_mut() {
+            *v += std * thrubarrier_dsp::gen::standard_normal(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thrubarrier_dsp::stats;
+
+    #[test]
+    fn paper_room_barriers_match_materials_paragraph() {
+        assert!(Room::paper_room(RoomId::A).barrier.material.is_glass());
+        assert!(!Room::paper_room(RoomId::B).barrier.material.is_glass());
+        assert!(!Room::paper_room(RoomId::C).barrier.material.is_glass());
+        assert!(Room::paper_room(RoomId::D).barrier.material.is_glass());
+    }
+
+    #[test]
+    fn paper_room_sizes() {
+        assert_eq!(Room::paper_room(RoomId::A).size_m, (7.0, 6.0));
+        assert_eq!(Room::paper_room(RoomId::B).size_m, (7.0, 7.0));
+        assert_eq!(Room::paper_room(RoomId::C).size_m, (6.0, 4.0));
+        assert_eq!(Room::paper_room(RoomId::D).size_m, (5.0, 3.0));
+    }
+
+    #[test]
+    fn reverb_extends_signal_and_preserves_direct_path() {
+        let room = Room::paper_room(RoomId::A);
+        let mut sig = vec![0.0f32; 400];
+        sig[0] = 1.0;
+        let out = room.apply_reverb(&sig, 16_000);
+        assert!(out.len() > sig.len());
+        assert!((out[0] - 1.0).abs() < 1e-6, "direct path altered");
+        // Echo energy exists after the direct impulse.
+        let tail: f32 = out[1..].iter().map(|x| x.abs()).sum();
+        assert!(tail > 0.0);
+    }
+
+    #[test]
+    fn reverb_echoes_are_quieter_than_direct() {
+        let room = Room::paper_room(RoomId::D);
+        let mut sig = vec![0.0f32; 400];
+        sig[0] = 1.0;
+        let out = room.apply_reverb(&sig, 16_000);
+        let max_echo = out[1..].iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+        assert!(max_echo < 0.5);
+    }
+
+    #[test]
+    fn ambient_noise_matches_room_level() {
+        let room = Room::paper_room(RoomId::B);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sig = vec![0.0f32; 40_000];
+        room.add_ambient_noise(&mut sig, &mut rng);
+        let spl = crate::propagation::rms_to_spl(stats::rms(&sig));
+        assert!((spl - room.ambient_spl_db).abs() < 0.5, "{spl}");
+    }
+
+    #[test]
+    fn ambient_noise_is_well_below_speech() {
+        // Speech at 65 dB must dominate every room's floor by >20 dB.
+        for room in Room::all_paper_rooms() {
+            assert!(room.ambient_spl_db < 45.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RoomId::A.to_string(), "Room A");
+        assert_eq!(RoomId::all().len(), 4);
+    }
+}

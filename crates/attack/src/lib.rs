@@ -1,0 +1,25 @@
+//! Attack generators for the four thru-barrier attack classes of the
+//! paper's threat model (Sec. II):
+//!
+//! * **Random attack** — the adversary speaks with their own voice
+//!   (no prior knowledge of the victim).
+//! * **Replay attack** — the adversary replays recordings of the victim
+//!   obtained from public sources through a loudspeaker.
+//! * **Voice-synthesis attack** — the adversary estimates the victim's
+//!   voice parameters from a few samples and synthesizes arbitrary
+//!   commands in that voice.
+//! * **Hidden voice attack** — obfuscated commands: wideband (0–6 kHz)
+//!   noise-like sounds whose coarse spectral envelope still matches what
+//!   speech-recognition front-ends extract, but which are
+//!   incomprehensible to humans.
+//!
+//! All attack sounds are *sources*; delivering them through a barrier
+//! into a room is the job of
+//! [`thrubarrier_acoustics::scene::AcousticPath`].
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod hidden;
+
+pub use generator::{AttackGenerator, AttackKind, AttackSound};

@@ -1,0 +1,75 @@
+//! Property-based tests for the attack generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thrubarrier_attack::hidden::obfuscate;
+use thrubarrier_attack::{AttackGenerator, AttackKind};
+use thrubarrier_dsp::{gen, stats};
+use thrubarrier_phoneme::command::CommandBank;
+use thrubarrier_phoneme::speaker::SpeakerProfile;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_attack_is_nonsilent_and_finite(
+        kind_idx in 0usize..4,
+        cmd_idx in 0usize..25,
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank = CommandBank::standard();
+        let cmd = &bank.commands()[cmd_idx];
+        let victim = SpeakerProfile::random(&mut rng);
+        let adversary = SpeakerProfile::random(&mut rng);
+        let g = AttackGenerator::new(16_000);
+        let a = g.generate(AttackKind::all()[kind_idx], cmd, &victim, &adversary, &mut rng);
+        prop_assert!(a.samples.iter().all(|v| v.is_finite()));
+        prop_assert!(stats::rms(&a.samples) > 1e-5);
+        prop_assert_eq!(a.sample_rate, 16_000);
+    }
+
+    #[test]
+    fn obfuscation_preserves_rms_for_any_speechlike_input(
+        seed in 0u64..50,
+        f0 in 100.0f32..800.0,
+        dur in 0.6f32..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clear = gen::chirp(f0, f0 * 2.0, 0.2, 16_000, dur);
+        let hidden = obfuscate(&clear, 16_000, &mut rng);
+        prop_assert_eq!(hidden.len(), clear.len());
+        let ratio = stats::rms(&hidden) / stats::rms(&clear);
+        prop_assert!((0.8..1.2).contains(&ratio), "rms ratio {ratio}");
+    }
+
+    #[test]
+    fn voice_estimation_error_is_bounded(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = SpeakerProfile::random(&mut rng);
+        let g = AttackGenerator::new(16_000);
+        let est = g.estimate_voice(&victim, &mut rng);
+        // A synthesis attack is only a threat if the estimate is close.
+        prop_assert!((est.f0_hz / victim.f0_hz - 1.0).abs() < 0.25);
+        prop_assert!((est.formant_scale / victim.formant_scale - 1.0).abs() < 0.15);
+        prop_assert_eq!(est.sex, victim.sex);
+    }
+
+    #[test]
+    fn replay_recordings_differ_from_live_synthesis(seed in 0u64..30) {
+        // The recording channel (band limit + noise) must change the
+        // waveform, not just copy it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank = CommandBank::standard();
+        let cmd = &bank.commands()[seed as usize % bank.len()];
+        let victim = SpeakerProfile::reference_male();
+        let g = AttackGenerator::new(16_000);
+        let rec1 = g.victim_recording(cmd, &victim, &mut rng);
+        let rec2 = g.victim_recording(cmd, &victim, &mut rng);
+        // Two "public recordings" of the same command are different
+        // takes (utterance randomness + channel noise).
+        let n = rec1.len().min(rec2.len());
+        prop_assert!(stats::pearson(&rec1[..n], &rec2[..n]).abs() < 0.99);
+    }
+}

@@ -1,0 +1,151 @@
+//! Criterion benches: one workload per table/figure of the paper.
+//!
+//! These measure the cost of regenerating each result at a miniature
+//! scale (the `repro` binary runs the real thing); they double as
+//! always-compiled smoke tests of every driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use thrubarrier_attack::AttackKind;
+use thrubarrier_defense::segmentation::EnergySelector;
+use thrubarrier_eval::experiments::{
+    fig11, fig3, fig4, fig6, fig7, fig9, phoneme_detection, table1, table2,
+};
+use thrubarrier_eval::runner::SelectorChoice;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("attack_study_2_attempts", |b| {
+        let cfg = table1::AttackStudyConfig {
+            attempts: 2,
+            ..Default::default()
+        };
+        b.iter(|| black_box(table1::run(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("phoneme_selection_4_samples", |b| {
+        let cfg = table2::SelectionStudyConfig {
+            samples_per_phoneme: 4,
+            ..Default::default()
+        };
+        b.iter(|| black_box(table2::run(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig4");
+    group.sample_size(10);
+    let cfg = fig3::BarrierEffectConfig {
+        samples_per_phoneme: 4,
+        ..Default::default()
+    };
+    group.bench_function("fig3_audio_domain", |b| b.iter(|| black_box(fig3::run(&cfg))));
+    group.bench_function("fig4_vibration_domain", |b| {
+        b.iter(|| black_box(fig4::run(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7");
+    group.sample_size(10);
+    group.bench_function("fig6_criteria_demo", |b| {
+        let cfg = fig6::CriteriaDemoConfig {
+            samples_per_phoneme: 4,
+            ..Default::default()
+        };
+        b.iter(|| black_box(fig6::run(&cfg)))
+    });
+    group.bench_function("fig7_chirp_response", |b| {
+        let cfg = fig7::ChirpStudyConfig {
+            duration_s: 1.0,
+            ..Default::default()
+        };
+        b.iter(|| black_box(fig7::run(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10");
+    group.sample_size(10);
+    group.bench_function("fig9_replay_micro", |b| {
+        let cfg = fig9::DetectionStudyConfig {
+            scale: 0.002,
+            attacks: vec![AttackKind::Replay],
+            selector: SelectorChoice::Energy,
+            ..Default::default()
+        };
+        b.iter(|| black_box(fig9::run(&cfg)))
+    });
+    group.bench_function("fig10_hidden_micro", |b| {
+        let cfg = fig9::DetectionStudyConfig {
+            scale: 0.002,
+            attacks: vec![AttackKind::HiddenVoice],
+            selector: SelectorChoice::Energy,
+            ..Default::default()
+        };
+        b.iter(|| black_box(fig9::run(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    let cfg = fig11::ImpactStudyConfig {
+        scale: 0.002,
+        selector: SelectorChoice::Energy,
+        ..Default::default()
+    };
+    let selector = Arc::new(EnergySelector::default());
+    group.bench_function("fig11a_spl_sweep_micro", |b| {
+        b.iter(|| black_box(fig11::run_fig11a(&cfg, selector.clone())))
+    });
+    group.bench_function("fig11b_materials_micro", |b| {
+        b.iter(|| black_box(fig11::run_fig11b(&cfg, selector.clone())))
+    });
+    group.bench_function("fig11c_distances_micro", |b| {
+        b.iter(|| black_box(fig11::run_fig11c(&cfg, selector.clone())))
+    });
+    group.bench_function("fig11d_rooms_micro", |b| {
+        b.iter(|| black_box(fig11::run_fig11d(&cfg, selector.clone())))
+    });
+    group.finish();
+}
+
+fn bench_phoneme_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phoneme_detection");
+    group.sample_size(10);
+    group.bench_function("brnn_train_and_eval_micro", |b| {
+        let cfg = phoneme_detection::DetectionAccuracyConfig {
+            samples_per_phoneme: 1,
+            corpus_size: 8,
+            epochs: 1,
+            hidden: 8,
+            ..Default::default()
+        };
+        b.iter(|| black_box(phoneme_detection::run(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_fig3_fig4,
+    bench_fig6_fig7,
+    bench_fig9_fig10,
+    bench_fig11,
+    bench_phoneme_detection
+);
+criterion_main!(benches);

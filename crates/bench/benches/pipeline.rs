@@ -1,0 +1,77 @@
+//! Criterion benches for the defense pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use thrubarrier_defense::{DefenseMethod, DefenseSystem};
+use thrubarrier_dsp::mel::MfccExtractor;
+use thrubarrier_dsp::{correlate, fft, gen, Stft};
+use thrubarrier_eval::scenario::TrialContext;
+use thrubarrier_vibration::Wearable;
+
+fn bench_dsp_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp");
+    let signal = gen::chirp(100.0, 3_000.0, 0.3, 16_000, 1.0);
+    group.bench_function("fft_16k_samples", |b| {
+        b.iter(|| fft::magnitude_spectrum(black_box(&signal), 0))
+    });
+    group.bench_function("stft_vibration_400_samples", |b| {
+        let vib = gen::sine(30.0, 0.1, 200, 2.0);
+        let stft = Stft::vibration_default();
+        b.iter(|| stft.power_spectrogram(black_box(&vib), 200))
+    });
+    group.bench_function("mfcc_1s_audio", |b| {
+        let m = MfccExtractor::paper_default();
+        b.iter(|| m.extract(black_box(&signal)))
+    });
+    group.bench_function("delay_estimation_1s", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let reference = gen::gaussian_noise(&mut rng, 0.1, 16_000);
+        let mut delayed = vec![0.0f32; 1_600];
+        delayed.extend_from_slice(&reference);
+        b.iter(|| correlate::estimate_delay(black_box(&reference), black_box(&delayed), 4_000))
+    });
+    group.finish();
+}
+
+fn bench_cross_domain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_domain");
+    let wearable = Wearable::fossil_gen_5();
+    let speech = gen::chirp(150.0, 3_000.0, 0.1, 16_000, 2.0);
+    group.bench_function("convert_2s_recording", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| wearable.convert(black_box(&speech), 16_000, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_detection_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(20);
+    let mut ctx = TrialContext::seeded(77);
+    let legit = ctx.legitimate_trial();
+    let system = DefenseSystem::paper_default();
+    for method in DefenseMethod::all() {
+        group.bench_function(format!("score_{method:?}"), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                system.score_with_method(
+                    method,
+                    black_box(&legit.va_recording),
+                    black_box(&legit.wearable_recording),
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dsp_primitives,
+    bench_cross_domain,
+    bench_detection_methods
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Diagnostic: per-phoneme frame classification rates of the BRNN.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use thrubarrier_defense::segmentation::{DetectorTrainConfig, PhonemeDetector, SegmentSelector};
+use thrubarrier_phoneme::common::common_phonemes;
+use thrubarrier_phoneme::corpus::{frame_labels, speaker_panel, training_corpus};
+use thrubarrier_phoneme::inventory::{Inventory, PhonemeId};
+use thrubarrier_phoneme::synth::Synthesizer;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let panel = speaker_panel(3, 3, &mut rng);
+    let synth = Synthesizer::new(16_000);
+    let rejected = ["s", "z", "sh", "th", "aa", "ao"];
+    let sensitive: HashSet<PhonemeId> = common_phonemes()
+        .iter()
+        .filter(|c| !rejected.contains(&c.symbol))
+        .map(|c| c.id)
+        .collect();
+    let corpus = training_corpus(&synth, 80, &panel, &mut rng);
+    let cfg = DetectorTrainConfig {
+        hidden_size: 48,
+        epochs: 3,
+        ..Default::default()
+    };
+    let det = PhonemeDetector::train(&sensitive, &corpus, &cfg, &mut rng);
+    let test = training_corpus(&synth, 30, &panel, &mut rng);
+    println!("overall frame accuracy: {:.3}", det.frame_accuracy(&test));
+    // Per-phoneme: fraction of frames predicted sensitive.
+    let mut hit: HashMap<&str, (u32, u32)> = HashMap::new();
+    for u in &test {
+        let audio = u.utterance.audio.samples();
+        let mask = det.sensitive_frames(audio, 16_000);
+        let owners = frame_labels(&u.utterance, 400, 160, usize::MAX, |p| p.0);
+        for (m, &owner) in mask.iter().zip(&owners) {
+            if owner == usize::MAX {
+                let e = hit.entry("<silence>").or_insert((0, 0));
+                e.1 += 1;
+                if *m {
+                    e.0 += 1;
+                }
+                continue;
+            }
+            let sym = Inventory::spec(PhonemeId(owner)).symbol;
+            let e = hit.entry(sym).or_insert((0, 0));
+            e.1 += 1;
+            if *m {
+                e.0 += 1;
+            }
+        }
+    }
+    let mut rows: Vec<_> = hit.into_iter().collect();
+    rows.sort_by_key(|(s, _)| *s);
+    for (sym, (sel, total)) in rows {
+        println!("{sym:<10} selected {:>5.1}%  (n={total})", 100.0 * sel as f32 / total as f32);
+    }
+}

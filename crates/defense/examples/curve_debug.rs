@@ -1,0 +1,23 @@
+//! Diagnostic: prints the per-bin Q3 curves for a few phonemes.
+
+use rand::{rngs::StdRng, SeedableRng};
+use thrubarrier_defense::selection::{run_selection, SelectionConfig};
+use thrubarrier_phoneme::corpus::speaker_panel;
+use thrubarrier_vibration::Wearable;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let panel = speaker_panel(3, 3, &mut rng);
+    let cfg = SelectionConfig {
+        samples_per_phoneme: 12,
+        ..Default::default()
+    };
+    let sel = run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
+    for sym in ["ih", "ey"] {
+        let s = sel.stats_for(sym).unwrap();
+        println!("--- {sym} ---");
+        for (b, f) in sel.bin_frequencies.iter().enumerate() {
+            println!("{f:6.2} Hz  adv {:+.5}  user {:+.5}", s.q3_adv[b], s.q3_user[b]);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Diagnostic: prints per-phoneme Q3 extremes against the α threshold.
+
+use rand::{rngs::StdRng, SeedableRng};
+use thrubarrier_defense::selection::{run_selection, SelectionConfig};
+use thrubarrier_phoneme::corpus::speaker_panel;
+use thrubarrier_vibration::Wearable;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let panel = speaker_panel(3, 3, &mut rng);
+    let cfg = SelectionConfig {
+        samples_per_phoneme: 12,
+        ..Default::default()
+    };
+    let sel = run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
+    println!("alpha = {}", sel.alpha);
+    println!("{:<6} {:>12} {:>12}  c1 c2 sel", "sym", "max_adv", "min_user");
+    for s in &sel.stats {
+        let max_adv = s.q3_adv[2..31].iter().cloned().fold(f32::MIN, f32::max);
+        let min_user = s.q3_user[2..31].iter().cloned().fold(f32::MAX, f32::min);
+        println!(
+            "{:<6} {:>12.5} {:>12.5}  {} {} {}",
+            s.symbol,
+            max_adv,
+            min_user,
+            s.passes_criterion_1 as u8,
+            s.passes_criterion_2 as u8,
+            s.selected() as u8
+        );
+    }
+    println!("selected: {}", sel.selected_ids().len());
+}

@@ -1,0 +1,118 @@
+//! Vibration-domain feature extraction (paper Sec. VI-B).
+//!
+//! Pipeline: high-pass filter (body-motion suppression) → 64-point STFT →
+//! squared magnitudes → crop bins at or below 5 Hz (accelerometer
+//! artifact, Fig. 7) → divide by the maximum value (distance/volume
+//! normalization, Sec. VI-C).
+
+use thrubarrier_dsp::filter::Biquad;
+use thrubarrier_dsp::{AudioBuffer, Spectrogram, Stft};
+
+/// Dynamic-range floor of the audio baseline's log compression. Bins
+/// whose power sits below this floor (pure device noise) flatten toward
+/// a constant and stop dominating the correlation.
+pub const AUDIO_LOG_FLOOR: f32 = 1e-3;
+
+/// Vibration-domain feature extractor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VibrationFeatureExtractor {
+    stft: Stft,
+    /// Bins with center frequency at or below this are cropped.
+    pub crop_hz: f32,
+    /// High-pass corner for body-motion suppression (applied zero-phase).
+    pub highpass_hz: f32,
+}
+
+impl VibrationFeatureExtractor {
+    /// The paper's configuration: 64-point STFT, 5 Hz crop, 5 Hz
+    /// high-pass.
+    pub fn paper_default() -> Self {
+        VibrationFeatureExtractor {
+            stft: Stft::vibration_default(),
+            crop_hz: 5.0,
+            highpass_hz: 5.0,
+        }
+    }
+
+    /// The STFT geometry in use.
+    pub fn stft(&self) -> &Stft {
+        &self.stft
+    }
+
+    /// Extracts normalized vibration features from a vibration signal.
+    pub fn extract(&self, vib: &AudioBuffer) -> Spectrogram {
+        let filtered = if vib.len() > 8 {
+            let hp = Biquad::highpass(self.highpass_hz, vib.sample_rate() as f32)
+                .expect("corner below nyquist for any supported rate");
+            hp.filtfilt(vib.samples())
+        } else {
+            vib.samples().to_vec()
+        };
+        let mut spec = self
+            .stft
+            .power_spectrogram(&filtered, vib.sample_rate());
+        spec.crop_low_frequencies(self.crop_hz);
+        spec.normalize_by_max();
+        spec
+    }
+
+    /// Extracts *audio-domain* features for the audio baseline: a
+    /// 256-point log-power spectrogram (log compression is the standard
+    /// audio front-end; it also weights the quiet bins where the barrier
+    /// effect and the devices' noise floors actually differ).
+    pub fn extract_audio_baseline(recording: &AudioBuffer) -> Spectrogram {
+        let stft = Stft::new(256, 128, thrubarrier_dsp::window::WindowKind::Hann)
+            .expect("static config is valid");
+        let mut spec = stft.power_spectrogram(recording.samples(), recording.sample_rate());
+        spec.log_compress(AUDIO_LOG_FLOOR);
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thrubarrier_dsp::gen;
+
+    #[test]
+    fn features_are_cropped_and_normalized() {
+        let vib = AudioBuffer::new(gen::sine(25.0, 0.5, 200, 2.0), 200);
+        let ext = VibrationFeatureExtractor::paper_default();
+        let spec = ext.extract(&vib);
+        assert!(spec.bin_frequency(0) > 5.0);
+        assert!((spec.max_value() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn body_motion_band_is_suppressed() {
+        // 2 Hz motion + 30 Hz vibration: features must be dominated by
+        // the 30 Hz line.
+        let mut sig = gen::sine(2.0, 1.0, 200, 4.0);
+        let vib30 = gen::sine(30.0, 0.05, 200, 4.0);
+        thrubarrier_dsp::gen::mix_into(&mut sig, &vib30);
+        let ext = VibrationFeatureExtractor::paper_default();
+        let spec = ext.extract(&AudioBuffer::new(sig, 200));
+        let mean = spec.mean_per_bin();
+        let peak_bin = thrubarrier_dsp::stats::argmax(&mean).unwrap();
+        let f = spec.bin_frequency(peak_bin);
+        assert!((f - 30.0).abs() < 4.0, "dominant bin at {f} Hz");
+    }
+
+    #[test]
+    fn short_signals_do_not_panic() {
+        let ext = VibrationFeatureExtractor::paper_default();
+        let spec = ext.extract(&AudioBuffer::new(vec![0.1; 5], 200));
+        assert!(spec.frames() <= 1);
+    }
+
+    #[test]
+    fn audio_baseline_features_are_log_compressed() {
+        let rec = AudioBuffer::new(gen::chirp(100.0, 3_000.0, 0.2, 16_000, 0.5), 16_000);
+        let spec = VibrationFeatureExtractor::extract_audio_baseline(&rec);
+        assert!(spec.frames() > 10);
+        // Log features are finite and include negative (quiet-bin) values.
+        let all: Vec<f32> = spec.rows().iter().flatten().copied().collect();
+        assert!(all.iter().all(|v| v.is_finite()));
+        assert!(all.iter().any(|&v| v < 0.0));
+    }
+}

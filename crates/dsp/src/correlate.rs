@@ -1,0 +1,239 @@
+//! Cross-correlation, delay estimation and 2-D Pearson correlation.
+//!
+//! * The cross-device synchronization step (paper Eq. 5) aligns the VA and
+//!   wearable recordings with the lag that maximizes their
+//!   cross-correlation; [`estimate_delay`] implements it with an
+//!   FFT-based correlator.
+//! * The attack detector (paper Eq. 6) scores the similarity of two
+//!   normalized vibration spectrograms with a 2-D correlation
+//!   coefficient; [`correlation_2d`] implements it.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::fft;
+use crate::stats;
+
+/// Full linear cross-correlation of `a` and `b` computed via FFT.
+///
+/// The output has length `a.len() + b.len() - 1`; index
+/// `k` corresponds to lag `k - (b.len() - 1)` of `a` relative to `b`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty.
+pub fn cross_correlate(a: &[f32], b: &[f32]) -> Result<Vec<f32>, DspError> {
+    if a.is_empty() {
+        return Err(DspError::EmptyInput("cross_correlate lhs"));
+    }
+    if b.is_empty() {
+        return Err(DspError::EmptyInput("cross_correlate rhs"));
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = fft::next_pow2(out_len);
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::from_real(x)).collect();
+    fa.resize(n, Complex::ZERO);
+    // Reverse b to turn convolution into correlation.
+    let mut fb: Vec<Complex> = b.iter().rev().map(|&x| Complex::from_real(x)).collect();
+    fb.resize(n, Complex::ZERO);
+    fft::fft_in_place(&mut fa)?;
+    fft::fft_in_place(&mut fb)?;
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    fft::ifft_in_place(&mut fa)?;
+    Ok(fa[..out_len].iter().map(|c| c.re).collect())
+}
+
+/// Estimates the delay (in samples) of `delayed` relative to `reference`
+/// by maximizing the cross-correlation. A positive return value means
+/// `delayed` starts `k` samples later than `reference`.
+///
+/// `max_lag` bounds the search (use e.g. 2x the worst-case network delay).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty.
+///
+/// # Example
+///
+/// ```
+/// use thrubarrier_dsp::{correlate, gen};
+///
+/// # fn main() -> Result<(), thrubarrier_dsp::DspError> {
+/// let reference = gen::chirp(100.0, 1_000.0, 1.0, 16_000, 0.2);
+/// let mut delayed = vec![0.0; 37];
+/// delayed.extend_from_slice(&reference);
+/// let lag = correlate::estimate_delay(&reference, &delayed, 100)?;
+/// assert_eq!(lag, 37);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_delay(reference: &[f32], delayed: &[f32], max_lag: usize) -> Result<isize, DspError> {
+    let corr = cross_correlate(delayed, reference)?;
+    // Index k corresponds to lag k - (reference.len() - 1) of `delayed`
+    // relative to `reference`.
+    let zero = reference.len() - 1;
+    let lo = zero.saturating_sub(max_lag);
+    let hi = (zero + max_lag + 1).min(corr.len());
+    let window = &corr[lo..hi];
+    let best = stats::argmax(window).expect("window is non-empty");
+    Ok((lo + best) as isize - zero as isize)
+}
+
+/// Removes the first `delay` samples if positive, or prepends zeros if
+/// negative, returning a signal aligned with the reference.
+pub fn align_by_delay(signal: &[f32], delay: isize) -> Vec<f32> {
+    if delay >= 0 {
+        let d = delay as usize;
+        if d >= signal.len() {
+            Vec::new()
+        } else {
+            signal[d..].to_vec()
+        }
+    } else {
+        let d = (-delay) as usize;
+        let mut out = vec![0.0; d];
+        out.extend_from_slice(signal);
+        out
+    }
+}
+
+/// 2-D correlation coefficient between two feature maps (paper Eq. 6).
+///
+/// Both maps are flattened over their common time support (the first
+/// `min(frames)` rows) and compared with a Pearson correlation
+/// coefficient. Returns a value in `[-1, 1]`; `0.0` when either map is
+/// constant or when there is no overlap.
+///
+/// # Errors
+///
+/// Returns [`DspError::DimensionMismatch`] if the maps have different bin
+/// counts.
+pub fn correlation_2d(a: &[Vec<f32>], b: &[Vec<f32>]) -> Result<f32, DspError> {
+    let frames = a.len().min(b.len());
+    if frames == 0 {
+        return Ok(0.0);
+    }
+    let bins_a = a[0].len();
+    let bins_b = b[0].len();
+    if bins_a != bins_b {
+        return Err(DspError::DimensionMismatch {
+            left: bins_a,
+            right: bins_b,
+        });
+    }
+    let fa: Vec<f32> = a.iter().take(frames).flatten().copied().collect();
+    let fb: Vec<f32> = b.iter().take(frames).flatten().copied().collect();
+    Ok(stats::pearson(&fa, &fb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cross_correlation_matches_naive() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [0.5f32, -1.0];
+        let fast = cross_correlate(&a, &b).unwrap();
+        // Naive correlation: c[k] = sum_i a[i] * b[i - (k - (len_b - 1))].
+        let mut naive = vec![0.0f32; a.len() + b.len() - 1];
+        for (k, slot) in naive.iter_mut().enumerate() {
+            let lag = k as isize - (b.len() as isize - 1);
+            let mut acc = 0.0;
+            for (i, &ai) in a.iter().enumerate() {
+                let j = i as isize - lag;
+                if j >= 0 && (j as usize) < b.len() {
+                    acc += ai * b[j as usize];
+                }
+            }
+            *slot = acc;
+        }
+        for (f, n) in fast.iter().zip(&naive) {
+            assert!((f - n).abs() < 1e-4, "{fast:?} vs {naive:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(cross_correlate(&[], &[1.0]).is_err());
+        assert!(cross_correlate(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn delay_estimation_recovers_known_lag() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let reference = gen::gaussian_noise(&mut rng, 1.0, 2_000);
+        for lag in [0usize, 5, 160, 999] {
+            let mut delayed = vec![0.0f32; lag];
+            delayed.extend_from_slice(&reference);
+            let est = estimate_delay(&reference, &delayed, 1_000).unwrap();
+            assert_eq!(est, lag as isize, "lag {lag}");
+        }
+    }
+
+    #[test]
+    fn delay_estimation_with_noise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let reference = gen::chirp(50.0, 3_000.0, 1.0, 16_000, 0.3);
+        let mut delayed = vec![0.0f32; 640];
+        delayed.extend_from_slice(&reference);
+        let noise = gen::gaussian_noise(&mut rng, 0.2, delayed.len());
+        for (d, n) in delayed.iter_mut().zip(&noise) {
+            *d += n;
+        }
+        let est = estimate_delay(&reference, &delayed, 3_200).unwrap();
+        assert!((est - 640).abs() <= 2, "estimated {est}");
+    }
+
+    #[test]
+    fn align_by_delay_positive_and_negative() {
+        let sig = vec![1.0, 2.0, 3.0];
+        assert_eq!(align_by_delay(&sig, 1), vec![2.0, 3.0]);
+        assert_eq!(align_by_delay(&sig, -2), vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+        assert!(align_by_delay(&sig, 10).is_empty());
+    }
+
+    #[test]
+    fn correlation_2d_identical_maps_is_one() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        assert!((correlation_2d(&a, &a).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_2d_truncates_to_common_frames() {
+        let a = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let b = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![9.0, 9.0]];
+        assert!((correlation_2d(&a, &b).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_2d_dimension_mismatch() {
+        let a = vec![vec![1.0, 2.0]];
+        let b = vec![vec![1.0, 2.0, 3.0]];
+        assert!(correlation_2d(&a, &b).is_err());
+    }
+
+    #[test]
+    fn correlation_2d_independent_noise_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a: Vec<Vec<f32>> = (0..30)
+            .map(|_| gen::gaussian_noise(&mut rng, 1.0, 31))
+            .collect();
+        let b: Vec<Vec<f32>> = (0..30)
+            .map(|_| gen::gaussian_noise(&mut rng, 1.0, 31))
+            .collect();
+        let r = correlation_2d(&a, &b).unwrap();
+        assert!(r.abs() < 0.12, "independent noise correlated at {r}");
+    }
+
+    #[test]
+    fn correlation_2d_empty_is_zero() {
+        let a: Vec<Vec<f32>> = Vec::new();
+        let b = vec![vec![1.0]];
+        assert_eq!(correlation_2d(&a, &b).unwrap(), 0.0);
+    }
+}

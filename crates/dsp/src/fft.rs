@@ -1,0 +1,261 @@
+//! Radix-2 fast Fourier transform and helpers.
+//!
+//! The in-place iterative Cooley–Tukey algorithm is used. Lengths must be
+//! powers of two; [`next_pow2`] and [`fft_padded`] help with arbitrary
+//! input lengths.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(thrubarrier_dsp::fft::next_pow2(500), 512);
+/// assert_eq!(thrubarrier_dsp::fft::next_pow2(512), 512);
+/// assert_eq!(thrubarrier_dsp::fft::next_pow2(0), 1);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::FftLengthNotPowerOfTwo`] if `buf.len()` is not a
+/// power of two.
+pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Errors
+///
+/// Returns [`DspError::FftLengthNotPowerOfTwo`] if `buf.len()` is not a
+/// power of two.
+pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    transform(buf, true)?;
+    let n = buf.len() as f32;
+    for v in buf.iter_mut() {
+        *v = *v / n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
+    let n = buf.len();
+    if !n.is_power_of_two() {
+        return Err(DspError::FftLengthNotPowerOfTwo(n));
+    }
+    if n <= 1 {
+        return Ok(());
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0f32 } else { -1.0f32 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f32::consts::TAU / len as f32;
+        let wlen = Complex::from_polar(1.0, ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let a = buf[start + k];
+                let b = buf[start + k + half] * w;
+                buf[start + k] = a + b;
+                buf[start + k + half] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two (or
+/// to `min_len`, whichever is larger). Returns the full complex spectrum.
+///
+/// # Example
+///
+/// ```
+/// let sig = vec![1.0_f32; 300];
+/// let spec = thrubarrier_dsp::fft::fft_padded(&sig, 0);
+/// assert_eq!(spec.len(), 512);
+/// ```
+pub fn fft_padded(signal: &[f32], min_len: usize) -> Vec<Complex> {
+    let n = next_pow2(signal.len().max(min_len));
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    buf.resize(n, Complex::ZERO);
+    // Length is a power of two by construction.
+    fft_in_place(&mut buf).expect("padded length is a power of two");
+    buf
+}
+
+/// Magnitude spectrum (first `N/2 + 1` bins) of a real signal, zero-padded
+/// to a power of two.
+///
+/// Bin `k` corresponds to frequency `k * sample_rate / N` where `N` is the
+/// padded length; use [`bin_frequencies`] to recover the axis.
+pub fn magnitude_spectrum(signal: &[f32], min_len: usize) -> Vec<f32> {
+    let spec = fft_padded(signal, min_len);
+    let half = spec.len() / 2 + 1;
+    spec[..half].iter().map(|c| c.norm()).collect()
+}
+
+/// Frequencies (Hz) of the bins returned by [`magnitude_spectrum`] for a
+/// padded FFT length `n_fft` at `sample_rate`.
+pub fn bin_frequencies(n_fft: usize, sample_rate: u32) -> Vec<f32> {
+    let half = n_fft / 2 + 1;
+    (0..half)
+        .map(|k| k as f32 * sample_rate as f32 / n_fft as f32)
+        .collect()
+}
+
+/// Applies a frequency-domain gain curve to a real signal and returns the
+/// filtered real signal (same length as the input).
+///
+/// `gain` is sampled at the non-negative FFT bin frequencies via the
+/// provided closure (argument: frequency in Hz). The negative-frequency
+/// half is mirrored to keep the output real. This is how barrier
+/// transmission and transducer responses are applied throughout the
+/// workspace.
+///
+/// # Example
+///
+/// ```
+/// use thrubarrier_dsp::{fft, gen};
+///
+/// let sig = gen::sine(3_000.0, 0.1, 16_000, 1.0);
+/// // Brick-wall low-pass at 1 kHz should annihilate a 3 kHz tone.
+/// let out = fft::apply_frequency_response(&sig, 16_000, |f| if f < 1_000.0 { 1.0 } else { 0.0 });
+/// let rms_out = thrubarrier_dsp::stats::rms(&out);
+/// assert!(rms_out < 0.05);
+/// ```
+pub fn apply_frequency_response<F>(signal: &[f32], sample_rate: u32, gain: F) -> Vec<f32>
+where
+    F: Fn(f32) -> f32,
+{
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let n = next_pow2(signal.len());
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    buf.resize(n, Complex::ZERO);
+    fft_in_place(&mut buf).expect("padded length is a power of two");
+    let fs = sample_rate as f32;
+    for (k, v) in buf.iter_mut().enumerate() {
+        // Map bin index to signed frequency, then take |f|.
+        let f = if k <= n / 2 {
+            k as f32 * fs / n as f32
+        } else {
+            (n - k) as f32 * fs / n as f32
+        };
+        let g = gain(f);
+        *v = v.scale(g);
+    }
+    ifft_in_place(&mut buf).expect("padded length is a power of two");
+    buf[..signal.len()].iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut buf = vec![Complex::ZERO; 3];
+        assert_eq!(
+            fft_in_place(&mut buf),
+            Err(DspError::FftLengthNotPowerOfTwo(3))
+        );
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::ZERO; 8];
+        buf[0] = Complex::ONE;
+        fft_in_place(&mut buf).unwrap();
+        for v in &buf {
+            assert!((v.re - 1.0).abs() < 1e-5 && v.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let sig: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32 - 6.0).collect();
+        let mut buf: Vec<Complex> = sig.iter().map(|&x| Complex::from_real(x)).collect();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (orig, got) in sig.iter().zip(&buf) {
+            assert!((orig - got.re).abs() < 1e-3);
+            assert!(got.im.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sine_peaks_at_expected_bin() {
+        let fs = 16_000u32;
+        let sig = gen::sine(1_000.0, 1.0, fs, 0.128); // 2048 samples
+        let mags = magnitude_spectrum(&sig, 0);
+        let n_fft = 2048;
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak_hz = peak as f32 * fs as f32 / n_fft as f32;
+        assert!((peak_hz - 1_000.0).abs() < 10.0, "peak at {peak_hz} Hz");
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let sig: Vec<f32> = (0..128).map(|i| (i as f32 * 0.37).sin()).collect();
+        let time_energy: f32 = sig.iter().map(|x| x * x).sum();
+        let spec = fft_padded(&sig, 0);
+        let freq_energy: f32 = spec.iter().map(|c| c.norm_sq()).sum::<f32>() / spec.len() as f32;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-3);
+    }
+
+    #[test]
+    fn frequency_response_passes_in_band_tone() {
+        let sig = gen::sine(400.0, 0.1, 16_000, 1.0);
+        let out = apply_frequency_response(&sig, 16_000, |f| if f < 1_000.0 { 1.0 } else { 0.0 });
+        let in_rms = crate::stats::rms(&sig);
+        let out_rms = crate::stats::rms(&out);
+        assert!((in_rms - out_rms).abs() / in_rms < 0.05);
+    }
+
+    #[test]
+    fn frequency_response_output_matches_input_length() {
+        let sig = vec![0.5_f32; 777];
+        let out = apply_frequency_response(&sig, 8_000, |_| 1.0);
+        assert_eq!(out.len(), 777);
+    }
+
+    #[test]
+    fn frequency_response_empty_input() {
+        let out = apply_frequency_response(&[], 8_000, |_| 1.0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn bin_frequencies_span_zero_to_nyquist() {
+        let f = bin_frequencies(64, 200);
+        assert_eq!(f.len(), 33);
+        assert_eq!(f[0], 0.0);
+        assert!((f[32] - 100.0).abs() < 1e-4);
+    }
+}

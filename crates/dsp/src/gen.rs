@@ -1,0 +1,129 @@
+//! Deterministic test-signal and noise generators.
+
+use rand::Rng;
+
+/// Generates a sine tone.
+///
+/// * `freq` — frequency in Hz
+/// * `amplitude` — peak amplitude
+/// * `sample_rate` — samples per second
+/// * `duration` — seconds
+///
+/// # Example
+///
+/// ```
+/// let tone = thrubarrier_dsp::gen::sine(440.0, 1.0, 16_000, 0.5);
+/// assert_eq!(tone.len(), 8_000);
+/// ```
+pub fn sine(freq: f32, amplitude: f32, sample_rate: u32, duration: f32) -> Vec<f32> {
+    let n = (duration * sample_rate as f32).round() as usize;
+    let w = std::f32::consts::TAU * freq / sample_rate as f32;
+    (0..n).map(|i| amplitude * (w * i as f32).sin()).collect()
+}
+
+/// Generates a linear chirp sweeping from `f0` to `f1` Hz over `duration`
+/// seconds.
+///
+/// This is the stimulus used to characterize the wearable accelerometer's
+/// frequency response (paper Fig. 7: a 500–2500 Hz chirp).
+pub fn chirp(f0: f32, f1: f32, amplitude: f32, sample_rate: u32, duration: f32) -> Vec<f32> {
+    let n = (duration * sample_rate as f32).round() as usize;
+    let fs = sample_rate as f32;
+    let k = (f1 - f0) / duration;
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / fs;
+            let phase = std::f32::consts::TAU * (f0 * t + 0.5 * k * t * t);
+            amplitude * phase.sin()
+        })
+        .collect()
+}
+
+/// Generates zero-mean Gaussian white noise with the given standard
+/// deviation, using the Box–Muller transform over the supplied RNG.
+pub fn gaussian_noise<R: Rng + ?Sized>(rng: &mut R, std: f32, n: usize) -> Vec<f32> {
+    (0..n).map(|_| std * standard_normal(rng)).collect()
+}
+
+/// Draws one sample from the standard normal distribution via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid log(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Returns `n` zeros — explicit silence, clearer at call sites than
+/// `vec![0.0; n]`.
+pub fn silence(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}
+
+/// Adds `b` into `a` element-wise, extending `a` if `b` is longer.
+pub fn mix_into(a: &mut Vec<f32>, b: &[f32]) {
+    if b.len() > a.len() {
+        a.resize(b.len(), 0.0);
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sine_has_expected_rms() {
+        let s = sine(100.0, 2.0, 8_000, 1.0);
+        // RMS of a sine of amplitude A is A/sqrt(2).
+        assert!((stats::rms(&s) - 2.0 / 2f32.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn chirp_instantaneous_frequency_increases() {
+        let fs = 16_000;
+        let c = chirp(500.0, 2_500.0, 1.0, fs, 1.0);
+        // Count zero crossings in first and last 10th — later section must
+        // oscillate faster.
+        let crossings = |xs: &[f32]| {
+            xs.windows(2)
+                .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+                .count()
+        };
+        let n = c.len();
+        let early = crossings(&c[..n / 10]);
+        let late = crossings(&c[n - n / 10..]);
+        assert!(late > early * 2, "early={early} late={late}");
+    }
+
+    #[test]
+    fn gaussian_noise_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let noise = gaussian_noise(&mut rng, 0.5, 50_000);
+        assert!(stats::mean(&noise).abs() < 0.02);
+        assert!((stats::std_dev(&noise) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_noise_is_deterministic_per_seed() {
+        let a = gaussian_noise(&mut StdRng::seed_from_u64(3), 1.0, 16);
+        let b = gaussian_noise(&mut StdRng::seed_from_u64(3), 1.0, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_into_extends_and_adds() {
+        let mut a = vec![1.0, 1.0];
+        mix_into(&mut a, &[0.5, 0.5, 0.5]);
+        assert_eq!(a, vec![1.5, 1.5, 0.5]);
+    }
+
+    #[test]
+    fn silence_is_zeros() {
+        assert!(silence(5).iter().all(|&x| x == 0.0));
+    }
+}

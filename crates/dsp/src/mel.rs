@@ -1,0 +1,342 @@
+//! Mel filterbank and MFCC extraction.
+//!
+//! The paper's phoneme detector uses 14th-order MFCCs computed from a
+//! 40-channel mel filterbank restricted to 0–900 Hz — deliberately
+//! low-frequency so that phonemes remain detectable in attack sounds whose
+//! high frequencies were stripped by the barrier (Sec. V-B).
+
+use crate::error::DspError;
+use crate::fft;
+use crate::window::WindowKind;
+
+/// Converts frequency in Hz to mels (O'Shaughnessy formula).
+pub fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Converts mels to frequency in Hz.
+pub fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// A triangular mel filterbank over FFT bins.
+#[derive(Debug, Clone)]
+pub struct MelFilterbank {
+    /// `n_filters x n_bins` triangular weights.
+    weights: Vec<Vec<f32>>,
+    n_fft: usize,
+}
+
+impl MelFilterbank {
+    /// Builds `n_filters` triangular filters spanning `f_min..f_max` Hz
+    /// for FFT size `n_fft` at `sample_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidMelConfig`] if the band is empty, the
+    /// filter count is zero, or `f_max` exceeds Nyquist.
+    pub fn new(
+        n_filters: usize,
+        n_fft: usize,
+        sample_rate: u32,
+        f_min: f32,
+        f_max: f32,
+    ) -> Result<Self, DspError> {
+        if n_filters == 0 {
+            return Err(DspError::InvalidMelConfig("zero filters".into()));
+        }
+        if !(f_min >= 0.0 && f_max > f_min) {
+            return Err(DspError::InvalidMelConfig(format!(
+                "invalid band {f_min}..{f_max} Hz"
+            )));
+        }
+        if f_max > sample_rate as f32 / 2.0 {
+            return Err(DspError::InvalidMelConfig(format!(
+                "f_max {f_max} above nyquist {}",
+                sample_rate as f32 / 2.0
+            )));
+        }
+        let n_bins = n_fft / 2 + 1;
+        let mel_lo = hz_to_mel(f_min);
+        let mel_hi = hz_to_mel(f_max);
+        // n_filters + 2 edge points, evenly spaced in mel.
+        let edges_hz: Vec<f32> = (0..n_filters + 2)
+            .map(|i| mel_to_hz(mel_lo + (mel_hi - mel_lo) * i as f32 / (n_filters + 1) as f32))
+            .collect();
+        let bin_hz = sample_rate as f32 / n_fft as f32;
+        let mut weights = Vec::with_capacity(n_filters);
+        for m in 0..n_filters {
+            let (lo, center, hi) = (edges_hz[m], edges_hz[m + 1], edges_hz[m + 2]);
+            let mut w = vec![0.0f32; n_bins];
+            for (k, slot) in w.iter_mut().enumerate() {
+                let f = k as f32 * bin_hz;
+                if f > lo && f < hi {
+                    *slot = if f <= center {
+                        (f - lo) / (center - lo).max(f32::EPSILON)
+                    } else {
+                        (hi - f) / (hi - center).max(f32::EPSILON)
+                    };
+                }
+            }
+            weights.push(w);
+        }
+        Ok(MelFilterbank { weights, n_fft })
+    }
+
+    /// Number of filters.
+    pub fn n_filters(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Applies the filterbank to a power spectrum (`n_fft/2 + 1` bins),
+    /// returning per-filter energies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power.len()` does not match the configured FFT size.
+    pub fn apply(&self, power: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            power.len(),
+            self.n_fft / 2 + 1,
+            "power spectrum length must match filterbank fft size"
+        );
+        self.weights
+            .iter()
+            .map(|w| w.iter().zip(power).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+}
+
+/// Type-II discrete cosine transform of `input`, returning the first
+/// `n_out` coefficients (orthonormal scaling).
+pub fn dct_ii(input: &[f32], n_out: usize) -> Vec<f32> {
+    let n = input.len();
+    if n == 0 {
+        return vec![0.0; n_out];
+    }
+    let norm0 = (1.0 / n as f32).sqrt();
+    let norm = (2.0 / n as f32).sqrt();
+    (0..n_out)
+        .map(|k| {
+            let sum: f32 = input
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    x * (std::f32::consts::PI * (i as f32 + 0.5) * k as f32 / n as f32).cos()
+                })
+                .sum();
+            sum * if k == 0 { norm0 } else { norm }
+        })
+        .collect()
+}
+
+/// MFCC front-end configuration.
+#[derive(Debug, Clone)]
+pub struct MfccExtractor {
+    filterbank: MelFilterbank,
+    frame_len: usize,
+    hop: usize,
+    n_coeffs: usize,
+    n_fft: usize,
+    sample_rate: u32,
+}
+
+impl MfccExtractor {
+    /// Creates an MFCC extractor.
+    ///
+    /// * `frame_len` / `hop` — analysis frame and hop in samples
+    /// * `n_filters` — mel filterbank channels
+    /// * `n_coeffs` — cepstral coefficients kept (including C0)
+    /// * `f_min..f_max` — filterbank band in Hz
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the frame configuration or the mel band is
+    /// invalid, or `n_coeffs > n_filters`.
+    pub fn new(
+        sample_rate: u32,
+        frame_len: usize,
+        hop: usize,
+        n_filters: usize,
+        n_coeffs: usize,
+        f_min: f32,
+        f_max: f32,
+    ) -> Result<Self, DspError> {
+        if frame_len == 0 || hop == 0 {
+            return Err(DspError::InvalidFrameConfig {
+                window: frame_len,
+                hop,
+            });
+        }
+        if n_coeffs > n_filters {
+            return Err(DspError::InvalidMelConfig(format!(
+                "n_coeffs {n_coeffs} > n_filters {n_filters}"
+            )));
+        }
+        let n_fft = fft::next_pow2(frame_len);
+        let filterbank = MelFilterbank::new(n_filters, n_fft, sample_rate, f_min, f_max)?;
+        Ok(MfccExtractor {
+            filterbank,
+            frame_len,
+            hop,
+            n_coeffs,
+            n_fft,
+            sample_rate,
+        })
+    }
+
+    /// The paper's configuration: 16 kHz input, 25 ms frames (400
+    /// samples), 10 ms hop (160 samples), 40 filters over 0–900 Hz,
+    /// 14 coefficients.
+    pub fn paper_default() -> Self {
+        MfccExtractor::new(16_000, 400, 160, 40, 14, 0.0, 900.0)
+            .expect("static config is valid")
+    }
+
+    /// Number of coefficients per frame.
+    pub fn n_coeffs(&self) -> usize {
+        self.n_coeffs
+    }
+
+    /// Hop size in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Frame length in samples.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Sample rate this extractor expects.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Number of frames produced for a signal of `n` samples.
+    pub fn frame_count(&self, n: usize) -> usize {
+        if n < self.frame_len {
+            usize::from(n > 0)
+        } else {
+            (n - self.frame_len) / self.hop + 1
+        }
+    }
+
+    /// Extracts MFCCs: one `n_coeffs`-vector per frame.
+    pub fn extract(&self, signal: &[f32]) -> Vec<Vec<f32>> {
+        let frames = self.frame_count(signal.len());
+        let window = WindowKind::Hamming.coefficients(self.frame_len);
+        let mut out = Vec::with_capacity(frames);
+        for fi in 0..frames {
+            let start = fi * self.hop;
+            let mut frame = vec![0.0f32; self.n_fft];
+            for i in 0..self.frame_len {
+                if start + i < signal.len() {
+                    frame[i] = signal[start + i] * window[i];
+                }
+            }
+            let mut buf: Vec<crate::complex::Complex> = frame
+                .iter()
+                .map(|&x| crate::complex::Complex::from_real(x))
+                .collect();
+            fft::fft_in_place(&mut buf).expect("n_fft is a power of two");
+            let power: Vec<f32> = buf[..self.n_fft / 2 + 1]
+                .iter()
+                .map(|c| c.norm_sq())
+                .collect();
+            let energies = self.filterbank.apply(&power);
+            let log_e: Vec<f32> = energies.iter().map(|&e| (e + 1e-10).ln()).collect();
+            out.push(dct_ii(&log_e, self.n_coeffs));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn mel_scale_roundtrip() {
+        for hz in [0.0, 100.0, 440.0, 900.0, 4_000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn mel_scale_is_monotonic() {
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let m = hz_to_mel(i as f32 * 80.0);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn filterbank_rejects_bad_configs() {
+        assert!(MelFilterbank::new(0, 512, 16_000, 0.0, 900.0).is_err());
+        assert!(MelFilterbank::new(10, 512, 16_000, 900.0, 100.0).is_err());
+        assert!(MelFilterbank::new(10, 512, 16_000, 0.0, 9_000.0).is_err());
+    }
+
+    #[test]
+    fn filterbank_responds_to_in_band_tone() {
+        let fb = MelFilterbank::new(40, 512, 16_000, 0.0, 900.0).unwrap();
+        let tone = gen::sine(450.0, 1.0, 16_000, 0.032); // 512 samples
+        let spec = fft::fft_padded(&tone, 512);
+        let power: Vec<f32> = spec[..257].iter().map(|c| c.norm_sq()).collect();
+        let energies = fb.apply(&power);
+        assert!(energies.iter().cloned().fold(0.0f32, f32::max) > 0.0);
+    }
+
+    #[test]
+    fn dct_of_constant_is_dc_only() {
+        let out = dct_ii(&[1.0; 16], 4);
+        assert!(out[0] > 0.0);
+        for &c in &out[1..] {
+            assert!(c.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dct_empty_input_yields_zeros() {
+        assert_eq!(dct_ii(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn paper_default_shapes() {
+        let m = MfccExtractor::paper_default();
+        assert_eq!(m.n_coeffs(), 14);
+        // 1 second at 16 kHz with 25ms/10ms framing -> 98 frames.
+        assert_eq!(m.frame_count(16_000), 98);
+        let sig = gen::sine(300.0, 0.5, 16_000, 0.1);
+        let feats = m.extract(&sig);
+        assert_eq!(feats.len(), m.frame_count(sig.len()));
+        assert!(feats.iter().all(|f| f.len() == 14));
+    }
+
+    #[test]
+    fn mfcc_distinguishes_tone_from_noise() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let m = MfccExtractor::paper_default();
+        let tone = gen::sine(300.0, 0.5, 16_000, 0.1);
+        let noise = gen::gaussian_noise(&mut StdRng::seed_from_u64(1), 0.5, 1_600);
+        let ft = m.extract(&tone);
+        let fe = m.extract(&noise);
+        // Average feature distance between classes should be clearly
+        // non-zero.
+        let d: f32 = ft[2]
+            .iter()
+            .zip(&fe[2])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1.0, "distance {d}");
+    }
+
+    #[test]
+    fn extractor_rejects_more_coeffs_than_filters() {
+        assert!(MfccExtractor::new(16_000, 400, 160, 10, 14, 0.0, 900.0).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Descriptive statistics used across the workspace.
+//!
+//! The third-quartile estimator here is the one the paper's
+//! barrier-effect-sensitive phoneme selection relies on (Sec. V-A:
+//! "the third quartile Q3(p, f) FFT magnitude").
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation. Returns `0.0` for slices shorter than 2.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Root-mean-square amplitude. Returns `0.0` for an empty slice.
+pub fn rms(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Maximum absolute value. Returns `0.0` for an empty slice.
+pub fn peak(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |acc, &x| acc.max(x.abs()))
+}
+
+/// Linear-interpolation percentile, `p` in `[0, 100]`.
+///
+/// Uses the same convention as NumPy's default (`linear`): the value at
+/// fractional rank `p/100 * (n-1)`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// let q3 = thrubarrier_dsp::stats::percentile(&[1.0, 2.0, 3.0, 4.0], 75.0);
+/// assert!((q3 - 3.25).abs() < 1e-6);
+/// ```
+pub fn percentile(xs: &[f32], p: f32) -> f32 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Third quartile (75th percentile) — the statistic in the paper's
+/// phoneme-selection criteria (Eqs. 2–3).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn third_quartile(xs: &[f32]) -> f32 {
+    percentile(xs, 75.0)
+}
+
+/// Median (50th percentile).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f32]) -> f32 {
+    percentile(xs, 50.0)
+}
+
+/// Index of the maximum element (first occurrence). Returns `None` for an
+/// empty slice.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first occurrence). Returns `None` for an
+/// empty slice.
+pub fn argmin(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x >= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns `0.0` when either input has zero variance (the convention used
+/// by the attack detector: a constant feature map carries no evidence).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson inputs must match in length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = (x - ma) as f64;
+        let dy = (y - mb) as f64;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= f64::EPSILON || vb <= f64::EPSILON {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())) as f32
+}
+
+/// Converts a linear amplitude ratio to decibels (`20 log10`), clamping the
+/// ratio to `1e-12` to avoid `-inf`.
+pub fn amplitude_to_db(ratio: f32) -> f32 {
+    20.0 * ratio.max(1e-12).log10()
+}
+
+/// Converts decibels to a linear amplitude ratio.
+pub fn db_to_amplitude(db: f32) -> f32 {
+    10f32.powf(db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rms_of_unit_square_wave_is_one() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        assert!((rms(&xs) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quartiles_match_numpy_convention() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((third_quartile(&xs) - 3.25).abs() < 1e-6);
+        assert!((median(&xs) - 2.5).abs() < 1e-6);
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-6);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentile_is_order_invariant() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut b = a;
+        b.reverse();
+        assert_eq!(percentile(&a, 75.0), percentile(&b, 75.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let xs = [0.5, -1.0, 3.0, 3.0, 2.0];
+        assert_eq!(argmax(&xs), Some(2));
+        assert_eq!(argmin(&xs), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn pearson_of_identical_signals_is_one() {
+        let xs: Vec<f32> = (0..50).map(|i| (i as f32 * 0.3).sin()).collect();
+        assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pearson_of_negated_signal_is_minus_one() {
+        let xs: Vec<f32> = (0..50).map(|i| (i as f32 * 0.3).sin()).collect();
+        let neg: Vec<f32> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        let a = [1.0; 10];
+        let b: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-40.0, -6.0, 0.0, 12.0] {
+            let amp = db_to_amplitude(db);
+            assert!((amplitude_to_db(amp) - db).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Short-time Fourier transform and spectrogram representation.
+//!
+//! The paper derives vibration-domain features as the squared-magnitude
+//! STFT with a 64-sample window / 64-point FFT (Sec. VI-B), then crops the
+//! bins at or below 5 Hz and normalizes by the maximum value. All of those
+//! operations live here so both the defense and the baselines share one
+//! implementation.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::fft;
+use crate::window::WindowKind;
+
+/// Short-time Fourier transform configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stft {
+    window_len: usize,
+    hop: usize,
+    n_fft: usize,
+    window: WindowKind,
+}
+
+impl Stft {
+    /// Creates an STFT with `window_len` samples per frame, `hop` samples
+    /// between frames and an FFT size equal to the next power of two of
+    /// `window_len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidFrameConfig`] if `window_len` or `hop`
+    /// is zero.
+    pub fn new(window_len: usize, hop: usize, window: WindowKind) -> Result<Self, DspError> {
+        if window_len == 0 || hop == 0 {
+            return Err(DspError::InvalidFrameConfig {
+                window: window_len,
+                hop,
+            });
+        }
+        Ok(Stft {
+            window_len,
+            hop,
+            n_fft: fft::next_pow2(window_len),
+            window,
+        })
+    }
+
+    /// The vibration-feature configuration from the paper: 64-sample
+    /// window, 32-sample hop (50% overlap), 64-point FFT, Hann window.
+    pub fn vibration_default() -> Self {
+        Stft::new(64, 32, WindowKind::Hann).expect("static config is valid")
+    }
+
+    /// Window length in samples.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Hop length in samples.
+    pub fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// FFT size (next power of two of the window length).
+    pub fn n_fft(&self) -> usize {
+        self.n_fft
+    }
+
+    /// Number of frames produced for a signal of `n` samples. Signals
+    /// shorter than one window yield a single zero-padded frame if
+    /// non-empty, otherwise zero frames.
+    pub fn frame_count(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else if n < self.window_len {
+            1
+        } else {
+            (n - self.window_len) / self.hop + 1
+        }
+    }
+
+    /// Computes the complex STFT. Frames are zero-padded to the FFT size.
+    pub fn complex_spectrogram(&self, signal: &[f32]) -> Vec<Vec<Complex>> {
+        let frames = self.frame_count(signal.len());
+        let coeffs = self.window.coefficients(self.window_len);
+        let half = self.n_fft / 2 + 1;
+        let mut out = Vec::with_capacity(frames);
+        for fi in 0..frames {
+            let start = fi * self.hop;
+            let mut buf = vec![Complex::ZERO; self.n_fft];
+            for (i, slot) in buf.iter_mut().take(self.window_len).enumerate() {
+                let idx = start + i;
+                if idx < signal.len() {
+                    *slot = Complex::from_real(signal[idx] * coeffs[i]);
+                }
+            }
+            fft::fft_in_place(&mut buf).expect("n_fft is a power of two");
+            buf.truncate(half);
+            out.push(buf);
+        }
+        out
+    }
+
+    /// Computes the power spectrogram (squared FFT magnitudes), the
+    /// vibration-domain feature of the paper.
+    pub fn power_spectrogram(&self, signal: &[f32], sample_rate: u32) -> Spectrogram {
+        let complex = self.complex_spectrogram(signal);
+        let data: Vec<Vec<f32>> = complex
+            .into_iter()
+            .map(|frame| frame.into_iter().map(|c| c.norm_sq()).collect())
+            .collect();
+        Spectrogram {
+            data,
+            sample_rate,
+            n_fft: self.n_fft,
+            hop: self.hop,
+            first_bin: 0,
+        }
+    }
+
+    /// Computes the magnitude spectrogram (FFT magnitudes).
+    pub fn magnitude_spectrogram(&self, signal: &[f32], sample_rate: u32) -> Spectrogram {
+        let complex = self.complex_spectrogram(signal);
+        let data: Vec<Vec<f32>> = complex
+            .into_iter()
+            .map(|frame| frame.into_iter().map(|c| c.norm()).collect())
+            .collect();
+        Spectrogram {
+            data,
+            sample_rate,
+            n_fft: self.n_fft,
+            hop: self.hop,
+            first_bin: 0,
+        }
+    }
+}
+
+/// A time–frequency representation: `frames x bins` of non-negative
+/// values, annotated with enough metadata to recover physical axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    data: Vec<Vec<f32>>,
+    sample_rate: u32,
+    n_fft: usize,
+    hop: usize,
+    /// Index of the first retained FFT bin (non-zero after cropping).
+    first_bin: usize,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn frames(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of frequency bins per frame.
+    pub fn bins(&self) -> usize {
+        self.data.first().map_or(0, Vec::len)
+    }
+
+    /// Raw feature rows (`frames x bins`).
+    pub fn rows(&self) -> &[Vec<f32>] {
+        &self.data
+    }
+
+    /// Frequency in Hz of retained bin `b`.
+    pub fn bin_frequency(&self, b: usize) -> f32 {
+        (self.first_bin + b) as f32 * self.sample_rate as f32 / self.n_fft as f32
+    }
+
+    /// Time in seconds of frame `t` (frame start).
+    pub fn frame_time(&self, t: usize) -> f32 {
+        t as f32 * self.hop as f32 / self.sample_rate as f32
+    }
+
+    /// The largest value in the spectrogram (0 for an empty one).
+    pub fn max_value(&self) -> f32 {
+        self.data
+            .iter()
+            .flat_map(|r| r.iter())
+            .fold(0.0f32, |acc, &v| acc.max(v))
+    }
+
+    /// Removes all bins whose center frequency is `<= cutoff_hz`.
+    ///
+    /// The paper crops everything at or below 5 Hz to suppress the
+    /// accelerometer's low-frequency sensitivity artifact and body-motion
+    /// interference (Sec. VI-B, Fig. 7).
+    pub fn crop_low_frequencies(&mut self, cutoff_hz: f32) {
+        let bin_hz = self.sample_rate as f32 / self.n_fft as f32;
+        let mut drop = 0usize;
+        while (self.first_bin + drop) as f32 * bin_hz <= cutoff_hz {
+            drop += 1;
+            if drop > self.bins() {
+                break;
+            }
+        }
+        let drop = drop.min(self.bins());
+        for row in &mut self.data {
+            row.drain(..drop);
+        }
+        self.first_bin += drop;
+    }
+
+    /// Divides every value by the maximum value (no-op if the maximum is
+    /// zero) — the paper's vibration-domain normalization that removes
+    /// distance/volume scale differences (Sec. VI-C).
+    pub fn normalize_by_max(&mut self) {
+        let max = self.max_value();
+        if max > 0.0 {
+            for row in &mut self.data {
+                for v in row {
+                    *v /= max;
+                }
+            }
+        }
+    }
+
+    /// Applies log compression `v <- ln(v + floor)` to every value.
+    /// `floor` guards against `ln(0)` and sets the dynamic-range bottom.
+    pub fn log_compress(&mut self, floor: f32) {
+        for row in &mut self.data {
+            for v in row {
+                *v = (*v + floor).ln();
+            }
+        }
+    }
+
+    /// Flattens the first `n_frames` frames into one vector
+    /// (frame-major). Used to compare two spectrograms over their common
+    /// time support.
+    pub fn flatten_frames(&self, n_frames: usize) -> Vec<f32> {
+        self.data
+            .iter()
+            .take(n_frames)
+            .flat_map(|r| r.iter().copied())
+            .collect()
+    }
+
+    /// Mean value per bin across all frames (the "average FFT magnitude"
+    /// curves of paper Figs. 3, 4 and 6 are built from this).
+    pub fn mean_per_bin(&self) -> Vec<f32> {
+        let bins = self.bins();
+        let mut acc = vec![0.0f32; bins];
+        for row in &self.data {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += v;
+            }
+        }
+        let n = self.frames().max(1) as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn rejects_zero_window_or_hop() {
+        assert!(Stft::new(0, 1, WindowKind::Hann).is_err());
+        assert!(Stft::new(64, 0, WindowKind::Hann).is_err());
+    }
+
+    #[test]
+    fn frame_count_edges() {
+        let s = Stft::new(64, 32, WindowKind::Hann).unwrap();
+        assert_eq!(s.frame_count(0), 0);
+        assert_eq!(s.frame_count(10), 1);
+        assert_eq!(s.frame_count(64), 1);
+        assert_eq!(s.frame_count(96), 2);
+        assert_eq!(s.frame_count(128), 3);
+    }
+
+    #[test]
+    fn tone_concentrates_energy_in_expected_bin() {
+        let fs = 200u32;
+        // 25 Hz tone, 64-point FFT at 200 Hz -> bin width 3.125 Hz -> bin 8.
+        let sig = gen::sine(25.0, 1.0, fs, 2.0);
+        let spec = Stft::vibration_default().power_spectrogram(&sig, fs);
+        let mean = spec.mean_per_bin();
+        let peak = crate::stats::argmax(&mean).unwrap();
+        assert_eq!(peak, 8, "expected bin 8, got {peak}");
+    }
+
+    #[test]
+    fn crop_low_frequencies_removes_dc_band() {
+        let fs = 200u32;
+        let sig = gen::sine(25.0, 1.0, fs, 1.0);
+        let mut spec = Stft::vibration_default().power_spectrogram(&sig, fs);
+        let bins_before = spec.bins();
+        spec.crop_low_frequencies(5.0);
+        // 200/64 = 3.125 Hz bins; bins 0 (0 Hz) and 1 (3.125 Hz) are <= 5 Hz.
+        assert_eq!(spec.bins(), bins_before - 2);
+        assert!(spec.bin_frequency(0) > 5.0);
+    }
+
+    #[test]
+    fn normalize_by_max_bounds_values() {
+        let fs = 200u32;
+        let sig = gen::sine(25.0, 3.0, fs, 1.0);
+        let mut spec = Stft::vibration_default().power_spectrogram(&sig, fs);
+        spec.normalize_by_max();
+        assert!((spec.max_value() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_on_silence_is_noop() {
+        let mut spec = Stft::vibration_default().power_spectrogram(&vec![0.0; 256], 200);
+        spec.normalize_by_max();
+        assert_eq!(spec.max_value(), 0.0);
+    }
+
+    #[test]
+    fn frame_time_advances_by_hop() {
+        let spec = Stft::vibration_default().power_spectrogram(&vec![0.1; 256], 200);
+        assert!((spec.frame_time(1) - 32.0 / 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flatten_frames_takes_prefix() {
+        let spec = Stft::vibration_default().power_spectrogram(&vec![0.1; 256], 200);
+        let flat = spec.flatten_frames(2);
+        assert_eq!(flat.len(), 2 * spec.bins());
+    }
+}

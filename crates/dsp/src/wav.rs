@@ -1,0 +1,225 @@
+//! Minimal WAV (RIFF, PCM16) reading and writing.
+//!
+//! Lets users export any signal in the workspace — synthesized commands,
+//! attack sounds, barrier-filtered recordings — for listening or
+//! external analysis, and import real recordings to run through the
+//! defense. Only mono/stereo PCM16 is supported; that is what every
+//! tool accepts.
+
+use crate::buffer::AudioBuffer;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Writes a mono PCM16 WAV file. Samples are clamped to `[-1, 1]`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_wav<P: AsRef<Path>>(path: P, buffer: &AudioBuffer) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_wav_to(&mut w, buffer)
+}
+
+/// Writes a mono PCM16 WAV stream to any writer. Accepts `&mut W` as
+/// well, thanks to the blanket `Write` impl for mutable references.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_wav_to<W: Write>(mut w: W, buffer: &AudioBuffer) -> io::Result<()> {
+    let n = buffer.len() as u32;
+    let sample_rate = buffer.sample_rate();
+    let data_bytes = n * 2;
+    let byte_rate = sample_rate * 2;
+    w.write_all(b"RIFF")?;
+    w.write_all(&(36 + data_bytes).to_le_bytes())?;
+    w.write_all(b"WAVE")?;
+    w.write_all(b"fmt ")?;
+    w.write_all(&16u32.to_le_bytes())?;
+    w.write_all(&1u16.to_le_bytes())?; // PCM
+    w.write_all(&1u16.to_le_bytes())?; // mono
+    w.write_all(&sample_rate.to_le_bytes())?;
+    w.write_all(&byte_rate.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // block align
+    w.write_all(&16u16.to_le_bytes())?; // bits per sample
+    w.write_all(b"data")?;
+    w.write_all(&data_bytes.to_le_bytes())?;
+    for &s in buffer.samples() {
+        let v = (s.clamp(-1.0, 1.0) * i16::MAX as f32) as i16;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a PCM16 WAV file (mono or stereo; stereo is downmixed).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed or unsupported files, and
+/// propagates filesystem errors.
+pub fn read_wav<P: AsRef<Path>>(path: P) -> io::Result<AudioBuffer> {
+    let file = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(file);
+    read_wav_from(&mut r)
+}
+
+/// Reads a PCM16 WAV stream from any reader. Accepts `&mut R` as well.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed or unsupported streams.
+pub fn read_wav_from<R: Read>(mut r: R) -> io::Result<AudioBuffer> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    if &header[0..4] != b"RIFF" || &header[8..12] != b"WAVE" {
+        return Err(bad("not a RIFF/WAVE file"));
+    }
+    let mut sample_rate = 0u32;
+    let mut channels = 0u16;
+    loop {
+        let mut chunk = [0u8; 8];
+        r.read_exact(&mut chunk)?;
+        let size = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes")) as usize;
+        match &chunk[0..4] {
+            b"fmt " => {
+                let mut fmt = vec![0u8; size];
+                r.read_exact(&mut fmt)?;
+                let format = u16::from_le_bytes(fmt[0..2].try_into().expect("2 bytes"));
+                if format != 1 {
+                    return Err(bad("only PCM WAV is supported"));
+                }
+                channels = u16::from_le_bytes(fmt[2..4].try_into().expect("2 bytes"));
+                sample_rate = u32::from_le_bytes(fmt[4..8].try_into().expect("4 bytes"));
+                let bits = u16::from_le_bytes(fmt[14..16].try_into().expect("2 bytes"));
+                if bits != 16 {
+                    return Err(bad("only 16-bit WAV is supported"));
+                }
+                if channels == 0 || channels > 2 {
+                    return Err(bad("only mono/stereo WAV is supported"));
+                }
+            }
+            b"data" => {
+                if sample_rate == 0 {
+                    return Err(bad("data chunk before fmt chunk"));
+                }
+                let mut data = vec![0u8; size];
+                r.read_exact(&mut data)?;
+                let ch = channels as usize;
+                let frames = size / 2 / ch;
+                let mut samples = Vec::with_capacity(frames);
+                for f in 0..frames {
+                    let mut acc = 0.0f32;
+                    for c in 0..ch {
+                        let i = (f * ch + c) * 2;
+                        let v = i16::from_le_bytes(data[i..i + 2].try_into().expect("2 bytes"));
+                        acc += v as f32 / i16::MAX as f32;
+                    }
+                    samples.push(acc / ch as f32);
+                }
+                return Ok(AudioBuffer::new(samples, sample_rate));
+            }
+            _ => {
+                // Skip unknown chunks (LIST, fact, ...).
+                let mut skip = vec![0u8; size];
+                r.read_exact(&mut skip)?;
+            }
+        }
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_signal() {
+        let original = AudioBuffer::new(gen::sine(440.0, 0.5, 16_000, 0.1), 16_000);
+        let mut bytes = Vec::new();
+        write_wav_to(&mut bytes, &original).unwrap();
+        let back = read_wav_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.sample_rate(), 16_000);
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.samples().iter().zip(back.samples()) {
+            assert!((a - b).abs() < 1.0 / 16_000.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("thrubarrier_wav_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tone.wav");
+        let original = AudioBuffer::new(gen::sine(1_000.0, 0.3, 8_000, 0.05), 8_000);
+        write_wav(&path, &original).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert_eq!(back.sample_rate(), 8_000);
+        assert_eq!(back.len(), original.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clamps_out_of_range_samples() {
+        let loud = AudioBuffer::new(vec![2.0, -2.0], 8_000);
+        let mut bytes = Vec::new();
+        write_wav_to(&mut bytes, &loud).unwrap();
+        let back = read_wav_from(bytes.as_slice()).unwrap();
+        assert!((back.samples()[0] - 1.0).abs() < 1e-3);
+        assert!((back.samples()[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_non_wav_data() {
+        let junk = b"this is not a wav file at all.....";
+        assert!(read_wav_from(junk.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_formats() {
+        // Build a header claiming IEEE float format (3).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&36u32.to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&3u16.to_le_bytes()); // float
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&16_000u32.to_le_bytes());
+        bytes.extend_from_slice(&64_000u32.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&32u16.to_le_bytes());
+        assert!(read_wav_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn stereo_is_downmixed() {
+        // Hand-build a 2-frame stereo file: L=1.0/R=0.0 then L=0.0/R=1.0.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&(36u32 + 8).to_le_bytes());
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"fmt ");
+        bytes.extend_from_slice(&16u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes()); // stereo
+        bytes.extend_from_slice(&8_000u32.to_le_bytes());
+        bytes.extend_from_slice(&32_000u32.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&16u16.to_le_bytes());
+        bytes.extend_from_slice(b"data");
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        for v in [i16::MAX, 0, 0, i16::MAX] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let back = read_wav_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!((back.samples()[0] - 0.5).abs() < 1e-3);
+        assert!((back.samples()[1] - 0.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Analysis window functions for framed signal processing.
+
+/// Supported analysis window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// Rectangular (no tapering).
+    Rectangular,
+    /// Hann window — the default for STFT analysis in this workspace.
+    #[default]
+    Hann,
+    /// Hamming window — used for MFCC frames, matching common speech
+    /// front-ends.
+    Hamming,
+    /// Blackman window — stronger sidelobe suppression.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Returns the window coefficients of length `n`.
+    ///
+    /// A zero-length request returns an empty vector; a length-1 window is
+    /// the single coefficient `1.0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use thrubarrier_dsp::window::WindowKind;
+    ///
+    /// let w = WindowKind::Hann.coefficients(5);
+    /// assert_eq!(w.len(), 5);
+    /// assert!((w[2] - 1.0).abs() < 1e-6); // symmetric, peak at center
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f32;
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / m;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (std::f32::consts::TAU * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (std::f32::consts::TAU * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (std::f32::consts::TAU * x).cos()
+                            + 0.08 * (2.0 * std::f32::consts::TAU * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Multiplies `frame` by the window in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != coeffs.len()` would be violated — the
+    /// coefficients are generated to match `frame.len()`.
+    pub fn apply(self, frame: &mut [f32]) {
+        let coeffs = self.coefficients(frame.len());
+        for (x, w) in frame.iter_mut().zip(coeffs) {
+            *x *= w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_windows_are_in_unit_range() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            for &w in &kind.coefficients(33) {
+                assert!((-1e-6..=1.0 + 1e-6).contains(&w), "{kind:?} -> {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(40);
+            for i in 0..20 {
+                assert!((w[i] - w[39 - i]).abs() < 1e-5, "{kind:?} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = WindowKind::Hann.coefficients(16);
+        assert!(w[0].abs() < 1e-6);
+        assert!(w[15].abs() < 1e-6);
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular
+            .coefficients(10)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Hann.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_scales_frame() {
+        let mut frame = vec![2.0; 8];
+        WindowKind::Hann.apply(&mut frame);
+        assert!(frame[0].abs() < 1e-6);
+        assert!(frame[3] > 1.5);
+    }
+}

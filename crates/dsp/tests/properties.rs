@@ -1,0 +1,174 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use thrubarrier_dsp::{complex::Complex, correlate, fft, resample, stats, stft::Stft, window::WindowKind};
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn fft_ifft_roundtrip_recovers_signal(sig in signal_strategy(256)) {
+        let n = fft::next_pow2(sig.len());
+        let mut buf: Vec<Complex> = sig.iter().map(|&x| Complex::from_real(x)).collect();
+        buf.resize(n, Complex::ZERO);
+        fft::fft_in_place(&mut buf).unwrap();
+        fft::ifft_in_place(&mut buf).unwrap();
+        for (orig, got) in sig.iter().zip(&buf) {
+            prop_assert!((orig - got.re).abs() < 1e-3);
+            prop_assert!(got.im.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(a in signal_strategy(128), k in -4.0f32..4.0) {
+        let n = fft::next_pow2(a.len());
+        let scaled: Vec<f32> = a.iter().map(|x| x * k).collect();
+        let fa = fft::fft_padded(&a, n);
+        let fs = fft::fft_padded(&scaled, n);
+        for (x, y) in fa.iter().zip(&fs) {
+            prop_assert!((x.re * k - y.re).abs() < 1e-2);
+            prop_assert!((x.im * k - y.im).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(sig in signal_strategy(256)) {
+        let time_energy: f32 = sig.iter().map(|x| x * x).sum();
+        let spec = fft::fft_padded(&sig, 0);
+        let freq_energy: f32 =
+            spec.iter().map(|c| c.norm_sq()).sum::<f32>() / spec.len() as f32;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-2 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        a in prop::collection::vec(-10.0f32..10.0, 4..64),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f32> = (0..a.len()).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let r_ab = stats::pearson(&a, &b);
+        let r_ba = stats::pearson(&b, &a);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&r_ab));
+        prop_assert!((r_ab - r_ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pearson_is_scale_and_shift_invariant(
+        a in prop::collection::vec(-10.0f32..10.0, 4..64),
+        scale in 0.1f32..5.0,
+        shift in -5.0f32..5.0,
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * scale + shift).collect();
+        // Skip degenerate constant inputs.
+        if stats::std_dev(&a) > 1e-3 {
+            prop_assert!((stats::pearson(&a, &b) - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(xs in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let p25 = stats::percentile(&xs, 25.0);
+        let p50 = stats::percentile(&xs, 50.0);
+        let p75 = stats::percentile(&xs, 75.0);
+        prop_assert!(p25 <= p50 + 1e-6);
+        prop_assert!(p50 <= p75 + 1e-6);
+    }
+
+    #[test]
+    fn percentile_is_bounded_by_extremes(xs in prop::collection::vec(-100.0f32..100.0, 1..64), p in 0.0f32..100.0) {
+        let v = stats::percentile(&xs, p);
+        let min = xs.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+    }
+
+    #[test]
+    fn delay_estimation_roundtrip(lag in 0usize..200, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference = thrubarrier_dsp::gen::gaussian_noise(&mut rng, 1.0, 1_000);
+        let mut delayed = vec![0.0f32; lag];
+        delayed.extend_from_slice(&reference);
+        let est = correlate::estimate_delay(&reference, &delayed, 256).unwrap();
+        // Lags beyond the search bound clamp to the bound.
+        if lag <= 256 {
+            prop_assert_eq!(est, lag as isize);
+        }
+    }
+
+    #[test]
+    fn align_by_delay_inverts_prepended_zeros(sig in signal_strategy(128), lag in 0usize..32) {
+        let mut delayed = vec![0.0f32; lag];
+        delayed.extend_from_slice(&sig);
+        let aligned = correlate::align_by_delay(&delayed, lag as isize);
+        prop_assert_eq!(aligned, sig);
+    }
+
+    #[test]
+    fn decimate_aliased_length(sig in signal_strategy(512), factor in 1usize..16) {
+        let out = resample::decimate_aliased(&sig, factor).unwrap();
+        prop_assert_eq!(out.len(), sig.len().div_ceil(factor));
+    }
+
+    #[test]
+    fn alias_frequency_is_within_nyquist(f in 0.0f32..20_000.0) {
+        let fa = resample::alias_frequency(f, 200.0);
+        prop_assert!((0.0..=100.0).contains(&fa));
+    }
+
+    #[test]
+    fn window_coefficients_are_bounded(n in 0usize..512) {
+        for kind in [WindowKind::Rectangular, WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            for &w in &kind.coefficients(n) {
+                prop_assert!((-1e-6..=1.0 + 1e-6).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn spectrogram_frame_count_matches_prediction(len in 1usize..2_000) {
+        let stft = Stft::vibration_default();
+        let sig = vec![0.1f32; len];
+        let spec = stft.power_spectrogram(&sig, 200);
+        prop_assert_eq!(spec.frames(), stft.frame_count(len));
+    }
+
+    #[test]
+    fn power_spectrogram_is_nonnegative(sig in signal_strategy(512)) {
+        let spec = Stft::vibration_default().power_spectrogram(&sig, 200);
+        for row in spec.rows() {
+            for &v in row {
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_spectrogram_max_is_one_or_zero(sig in signal_strategy(512)) {
+        let mut spec = Stft::vibration_default().power_spectrogram(&sig, 200);
+        spec.normalize_by_max();
+        let m = spec.max_value();
+        prop_assert!(m == 0.0 || (m - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn correlation_2d_self_is_one_for_nonconstant(
+        rows in prop::collection::vec(prop::collection::vec(0.0f32..1.0, 8), 2..16),
+    ) {
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        if stats::std_dev(&flat) > 1e-3 {
+            let r = correlate::correlation_2d(&rows, &rows).unwrap();
+            prop_assert!((r - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn db_amplitude_roundtrip(db in -80.0f32..40.0) {
+        let amp = stats::db_to_amplitude(db);
+        prop_assert!((stats::amplitude_to_db(amp) - db).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Diagnostic: which attack trials score high, and why.
+
+use rand::{rngs::StdRng, SeedableRng};
+use thrubarrier_attack::AttackKind;
+use thrubarrier_defense::{DefenseMethod, DefenseSystem};
+use thrubarrier_eval::scenario::{TrialGenerator, TrialSettings};
+use thrubarrier_phoneme::command::CommandBank;
+use thrubarrier_phoneme::speaker::SpeakerProfile;
+
+fn main() {
+    let generator = TrialGenerator::new();
+    let bank = CommandBank::standard();
+    let system = DefenseSystem::paper_default();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let victim = SpeakerProfile::reference_male();
+    let adversary = SpeakerProfile::reference_female();
+    println!("{:<30} {:>5} {:>8} {:>8} {:>8}", "command", "spl", "audio", "vib", "full(E)");
+    for spl in [65.0f32, 75.0, 85.0] {
+        for ci in [3usize, 5, 8, 12, 16] {
+            let cmd = &bank.commands()[ci];
+            let settings = TrialSettings {
+                attack_spl_db: spl,
+                ..Default::default()
+            };
+            let t = generator.attack(AttackKind::Replay, cmd, &victim, &adversary, &settings, &mut rng);
+            let mut s = [0.0f32; 3];
+            for (i, m) in DefenseMethod::all().into_iter().enumerate() {
+                let mut r2 = StdRng::seed_from_u64(50 + ci as u64);
+                s[i] = system.score_with_method(m, &t.va_recording, &t.wearable_recording, &mut r2);
+            }
+            let has_aa = cmd.phoneme_symbols().iter().any(|p| *p == "aa" || *p == "ao");
+            println!(
+                "{:<30} {:>5} {:>8.2} {:>8.2} {:>8.2}  aa/ao={}",
+                cmd.text(), spl, s[0], s[1], s[2], has_aa
+            );
+        }
+    }
+    // User trials for contrast.
+    println!("--- legitimate ---");
+    for ci in [3usize, 5, 8] {
+        let cmd = &bank.commands()[ci];
+        let settings = TrialSettings::default();
+        let t = generator.legitimate(cmd, &victim, &settings, &mut rng);
+        let mut s = [0.0f32; 3];
+        for (i, m) in DefenseMethod::all().into_iter().enumerate() {
+            let mut r2 = StdRng::seed_from_u64(80 + ci as u64);
+            s[i] = system.score_with_method(m, &t.va_recording, &t.wearable_recording, &mut r2);
+        }
+        println!("{:<30} {:>5} {:>8.2} {:>8.2} {:>8.2}", cmd.text(), 70, s[0], s[1], s[2]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Diagnostic: AUC/EER per method at a moderate scale.
+
+use thrubarrier_attack::AttackKind;
+use thrubarrier_defense::DefenseMethod;
+use thrubarrier_eval::runner::{Runner, RunnerConfig, SelectorChoice};
+use thrubarrier_eval::scenario::TrialSettings;
+use thrubarrier_acoustics::room::{Room, RoomId};
+
+fn main() {
+    let mut settings = Vec::new();
+    for room in [RoomId::A, RoomId::B] {
+        for (d, spl_u) in [(1.0, 75.0), (2.0, 70.0), (3.0, 65.0)] {
+            for spl_a in [65.0, 75.0, 85.0] {
+                settings.push(TrialSettings {
+                    room: Room::paper_room(room),
+                    user_to_va_m: d,
+                    user_spl_db: spl_u,
+                    attack_spl_db: spl_a,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    let cfg = RunnerConfig {
+        seed: 42,
+        participants: 8,
+        commands_per_user: 12,
+        attacks_per_kind: 60,
+        attack_kinds: vec![
+            AttackKind::Random,
+            AttackKind::Replay,
+            AttackKind::VoiceSynthesis,
+            AttackKind::HiddenVoice,
+        ],
+        settings,
+        selector: if std::env::args().any(|a| a == "--brnn") { SelectorChoice::Brnn { corpus_size: 80, epochs: 3, hidden: 48 } } else { SelectorChoice::Energy },
+        threads: 16,
+    };
+    let outcome = Runner::new(cfg).run();
+    let q = |xs: &[f32], p: f32| {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[((v.len() - 1) as f32 * p) as usize]
+    };
+    for method in DefenseMethod::all() {
+        let pool = outcome.pool(method);
+        let l = &pool.legitimate;
+        let a = pool.attack_scores();
+        println!(
+            "{:<28} legit q10/50/90 {:.2}/{:.2}/{:.2}   attack q10/50/90 {:.2}/{:.2}/{:.2}",
+            method.label(),
+            q(l, 0.1), q(l, 0.5), q(l, 0.9),
+            q(&a, 0.1), q(&a, 0.5), q(&a, 0.9)
+        );
+    }
+    for kind in AttackKind::all() {
+        println!("== {kind} ==");
+        for method in DefenseMethod::all() {
+            let m = outcome.pool(method).metrics_of(kind);
+            println!("  {:<28} AUC {:.3}  EER {:.1}%", method.label(), m.auc, m.eer * 100.0);
+        }
+    }
+}

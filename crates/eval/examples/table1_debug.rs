@@ -1,0 +1,62 @@
+//! Diagnostic: wake-decision internals for the Table I study.
+
+use rand::{rngs::StdRng, SeedableRng};
+use thrubarrier_acoustics::room::{Room, RoomId};
+use thrubarrier_acoustics::scene::AcousticPath;
+use thrubarrier_acoustics::va::{VaDevice, VaModel};
+use thrubarrier_attack::{AttackGenerator, AttackKind};
+use thrubarrier_phoneme::command::CommandBank;
+use thrubarrier_phoneme::speaker::{Sex, SpeakerProfile};
+use thrubarrier_phoneme::synth::Synthesizer;
+
+fn main() {
+    let fs = 16_000u32;
+    let mut rng = StdRng::seed_from_u64(7);
+    let synth = Synthesizer::new(fs);
+    let bank = CommandBank::standard();
+    let generator = AttackGenerator::new(fs);
+    let victim = SpeakerProfile::random_with_sex(Sex::Male, &mut rng);
+    let room = Room::paper_room(RoomId::A);
+    for model in VaModel::all() {
+        let wake = bank.by_text(model.wake_word()).unwrap();
+        let templates: Vec<Vec<f32>> = [
+            SpeakerProfile::reference_male(),
+            SpeakerProfile::reference_female(),
+        ]
+        .iter()
+        .map(|sp| synth.synthesize_command(wake, sp, &mut rng).audio.into_samples())
+        .collect();
+        let mut device = VaDevice::paper_device(model, &templates);
+        device.enroll_user(victim.f0_hz);
+        for kind in [AttackKind::Random, AttackKind::Replay, AttackKind::HiddenVoice] {
+            for spl in [65.0f32, 75.0] {
+                let adversary = SpeakerProfile::random(&mut rng);
+                let sound = generator.generate(kind, wake, &victim, &adversary, &mut rng);
+                let mut source = sound.samples;
+                let gain = thrubarrier_acoustics::propagation::spl_to_rms(spl)
+                    / thrubarrier_dsp::stats::rms(&source).max(1e-9);
+                for v in &mut source {
+                    *v *= gain;
+                }
+                let path = AcousticPath {
+                    room: room.clone(),
+                    through_barrier: true,
+                    distance_m: 2.0,
+                    loudspeaker: sound.needs_loudspeaker.then(|| generator.loudspeaker),
+                };
+                let mut incident = path.transmit_positioned(&source, fs, &mut rng);
+                room.add_ambient_noise(&mut incident, &mut rng);
+                let d = device.hear(&incident, fs, &mut rng);
+                println!(
+                    "{:<12} {:<22} {spl:>4} dB  snr {:>6.1}  match {:>5.2}  verified {:?}  triggered {}",
+                    model.name(),
+                    kind.name(),
+                    d.snr_db,
+                    d.match_score,
+                    d.verified,
+                    d.triggered
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let study = thrubarrier_eval::experiments::table1::run(&Default::default());
+    println!("{}", study.render_text());
+}

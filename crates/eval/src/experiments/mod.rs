@@ -1,0 +1,21 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! Every driver follows the same shape: a `*Config` with a `scale` knob
+//! (1.0 ≈ paper-scale trial counts; the defaults are smaller for laptop
+//! runtimes), a `run` function returning a structured result, and a
+//! `render_text` method producing the rows/series the paper reports.
+
+pub mod ablation;
+pub mod architectures;
+pub mod common;
+pub mod extensions;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod naive_baseline;
+pub mod phoneme_detection;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,94 @@
+//! Table II: the 37 common phonemes with appearance counts, and which of
+//! them the offline screening marks barrier-effect sensitive (31 in the
+//! paper; /s/, /z/ and the over-loud /aa/, /ao/ named as rejected).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thrubarrier_defense::selection::{run_selection, PhonemeSelection, SelectionConfig};
+use thrubarrier_phoneme::common::common_phonemes;
+use thrubarrier_phoneme::corpus::speaker_panel;
+use thrubarrier_vibration::Wearable;
+
+/// Configuration for the Table II reproduction.
+#[derive(Debug, Clone)]
+pub struct SelectionStudyConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Segments per phoneme (paper: 100).
+    pub samples_per_phoneme: usize,
+}
+
+impl Default for SelectionStudyConfig {
+    fn default() -> Self {
+        SelectionStudyConfig {
+            seed: 1,
+            samples_per_phoneme: 24,
+        }
+    }
+}
+
+/// Result of the Table II reproduction.
+#[derive(Debug, Clone)]
+pub struct SelectionStudy {
+    /// The full selection result (Q3 curves, criteria).
+    pub selection: PhonemeSelection,
+}
+
+/// Runs the selection with the paper's setup (5 male + 5 female
+/// speakers, glass window + wooden door, 75/85 dB).
+pub fn run(cfg: &SelectionStudyConfig) -> SelectionStudy {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let panel = speaker_panel(5, 5, &mut rng);
+    let sel_cfg = SelectionConfig {
+        samples_per_phoneme: cfg.samples_per_phoneme,
+        ..Default::default()
+    };
+    let selection = run_selection(&sel_cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
+    SelectionStudy { selection }
+}
+
+impl SelectionStudy {
+    /// Renders Table II: symbol, count, and `*` markers on the selected
+    /// (bold in the paper) phonemes.
+    pub fn render_text(&self) -> String {
+        let commons = common_phonemes();
+        let selected: std::collections::HashSet<&str> =
+            self.selection.selected_symbols().into_iter().collect();
+        let mut out = String::from(
+            "Table II — common phonemes (*(bold) = selected barrier-sensitive)\n",
+        );
+        for row in commons.chunks(6) {
+            for c in row {
+                let mark = if selected.contains(c.symbol) { "*" } else { " " };
+                out.push_str(&format!("{mark}{:<4}{:>4}   ", c.symbol, c.count));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "\nselected: {} of {}\nrejected: {}\n",
+            selected.len(),
+            commons.len(),
+            self.selection.rejected_symbols().join(", ")
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_31_of_37_with_papers_rejections() {
+        let study = run(&SelectionStudyConfig::default());
+        let selected = study.selection.selected_ids();
+        assert_eq!(selected.len(), 31, "selected {:?}", study.selection.selected_symbols());
+        let rejected = study.selection.rejected_symbols();
+        // The paper names /s/, /z/ (too weak) and /aa/, /ao/ (too loud).
+        for must in ["s", "z", "aa", "ao"] {
+            assert!(rejected.contains(&must), "{must} not rejected: {rejected:?}");
+        }
+        let text = study.render_text();
+        assert!(text.contains("selected: 31 of 37"));
+    }
+}

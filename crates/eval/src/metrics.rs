@@ -1,0 +1,204 @@
+//! Detection metrics: TDR, FDR, ROC, AUC, EER (paper Sec. VII-A).
+//!
+//! Scores are similarity scores in `[0, 1]`: *low* scores indicate
+//! attacks. At threshold `t`, a sample is flagged as an attack when its
+//! score is below `t`; the true detection rate is the fraction of attack
+//! samples flagged, the false detection rate the fraction of legitimate
+//! samples flagged.
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold.
+    pub threshold: f32,
+    /// True detection rate at this threshold.
+    pub tdr: f32,
+    /// False detection rate at this threshold.
+    pub fdr: f32,
+}
+
+/// A ROC curve swept over thresholds 0.00–1.00 in 0.01 steps (the
+/// paper's procedure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Points ordered by increasing threshold.
+    pub points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Builds the ROC curve from the two score populations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population is empty — a ROC over an empty class
+    /// is meaningless and always a caller bug.
+    pub fn from_scores(legitimate: &[f32], attack: &[f32]) -> Self {
+        assert!(
+            !legitimate.is_empty() && !attack.is_empty(),
+            "roc needs both populations"
+        );
+        let points = (0..=100)
+            .map(|i| {
+                let threshold = i as f32 * 0.01;
+                let tdr = fraction_below(attack, threshold);
+                let fdr = fraction_below(legitimate, threshold);
+                RocPoint { threshold, tdr, fdr }
+            })
+            .collect();
+        RocCurve { points }
+    }
+
+    /// Area under the curve (trapezoidal over FDR).
+    pub fn auc(&self) -> f32 {
+        // Points are monotone in threshold, hence FDR and TDR are
+        // non-decreasing along the sweep.
+        let mut area = 0.0f64;
+        for w in self.points.windows(2) {
+            let dx = (w[1].fdr - w[0].fdr) as f64;
+            let avg_y = (w[0].tdr + w[1].tdr) as f64 / 2.0;
+            area += dx * avg_y;
+        }
+        // Close the curve to (1, 1) if the sweep did not reach it.
+        if let Some(last) = self.points.last() {
+            area += (1.0 - last.fdr) as f64 * (last.tdr as f64 + 1.0) / 2.0;
+        }
+        area as f32
+    }
+
+    /// Equal error rate: the error at the threshold where the false
+    /// detection rate and the miss rate (1 − TDR) are closest.
+    pub fn eer(&self) -> f32 {
+        let mut best = f32::INFINITY;
+        let mut eer = 0.5;
+        for p in &self.points {
+            let miss = 1.0 - p.tdr;
+            let gap = (p.fdr - miss).abs();
+            if gap < best {
+                best = gap;
+                eer = (p.fdr + miss) / 2.0;
+            }
+        }
+        eer
+    }
+
+    /// The threshold achieving the EER operating point.
+    pub fn eer_threshold(&self) -> f32 {
+        let mut best = f32::INFINITY;
+        let mut thr = 0.5;
+        for p in &self.points {
+            let gap = (p.fdr - (1.0 - p.tdr)).abs();
+            if gap < best {
+                best = gap;
+                thr = p.threshold;
+            }
+        }
+        thr
+    }
+}
+
+fn fraction_below(scores: &[f32], threshold: f32) -> f32 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().filter(|&&s| s < threshold).count() as f32 / scores.len() as f32
+}
+
+/// Summary metrics for one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionMetrics {
+    /// The underlying ROC curve.
+    pub roc: RocCurve,
+    /// Area under the ROC curve.
+    pub auc: f32,
+    /// Equal error rate.
+    pub eer: f32,
+}
+
+impl DetectionMetrics {
+    /// Computes the metrics from the two score populations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either population is empty.
+    pub fn from_scores(legitimate: &[f32], attack: &[f32]) -> Self {
+        let roc = RocCurve::from_scores(legitimate, attack);
+        let auc = roc.auc();
+        let eer = roc.eer();
+        DetectionMetrics { roc, auc, eer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one_eer_zero() {
+        let legit = vec![0.9, 0.8, 0.95, 0.85];
+        let attack = vec![0.1, 0.2, 0.05, 0.15];
+        let m = DetectionMetrics::from_scores(&legit, &attack);
+        assert!((m.auc - 1.0).abs() < 1e-3, "auc {}", m.auc);
+        assert!(m.eer < 0.01, "eer {}", m.eer);
+    }
+
+    #[test]
+    fn identical_distributions_give_auc_half() {
+        let scores: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let m = DetectionMetrics::from_scores(&scores, &scores);
+        assert!((m.auc - 0.5).abs() < 0.02, "auc {}", m.auc);
+        assert!((m.eer - 0.5).abs() < 0.05, "eer {}", m.eer);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_near_zero() {
+        let legit = vec![0.1, 0.2];
+        let attack = vec![0.8, 0.9];
+        let m = DetectionMetrics::from_scores(&legit, &attack);
+        assert!(m.auc < 0.1);
+    }
+
+    #[test]
+    fn partial_overlap_is_intermediate() {
+        let legit: Vec<f32> = (0..50).map(|i| 0.4 + i as f32 * 0.01).collect();
+        let attack: Vec<f32> = (0..50).map(|i| 0.1 + i as f32 * 0.01).collect();
+        let m = DetectionMetrics::from_scores(&legit, &attack);
+        assert!(m.auc > 0.7 && m.auc < 1.0, "auc {}", m.auc);
+        assert!(m.eer > 0.01 && m.eer < 0.4, "eer {}", m.eer);
+    }
+
+    #[test]
+    fn roc_is_monotone() {
+        let legit = vec![0.5, 0.6, 0.7, 0.9];
+        let attack = vec![0.2, 0.3, 0.55, 0.65];
+        let roc = RocCurve::from_scores(&legit, &attack);
+        for w in roc.points.windows(2) {
+            assert!(w[1].tdr >= w[0].tdr);
+            assert!(w[1].fdr >= w[0].fdr);
+        }
+    }
+
+    #[test]
+    fn eer_threshold_is_consistent() {
+        let legit = vec![0.7, 0.8, 0.9, 0.6];
+        let attack = vec![0.2, 0.3, 0.4, 0.75];
+        let roc = RocCurve::from_scores(&legit, &attack);
+        let thr = roc.eer_threshold();
+        assert!((0.0..=1.0).contains(&thr));
+    }
+
+    #[test]
+    #[should_panic(expected = "roc needs both populations")]
+    fn empty_population_panics() {
+        RocCurve::from_scores(&[], &[0.5]);
+    }
+
+    #[test]
+    fn scores_at_one_are_never_flagged_below_max_threshold() {
+        // A perfect score of 1.0 is flagged only at threshold > 1.0,
+        // which the sweep never reaches.
+        let legit = vec![1.0, 1.0];
+        let attack = vec![0.0, 0.0];
+        let m = DetectionMetrics::from_scores(&legit, &attack);
+        assert!((m.auc - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,445 @@
+//! Threaded experiment runner: generate trials, score them with each
+//! detection method, and collect metrics.
+
+use crate::metrics::DetectionMetrics;
+use crate::scenario::{Trial, TrialGenerator, TrialSettings};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::sync::Arc;
+use thrubarrier_attack::AttackKind;
+use thrubarrier_defense::segmentation::{
+    DetectorTrainConfig, EnergySelector, PhonemeDetector, SegmentSelector,
+};
+use thrubarrier_defense::selection::{run_selection, SelectionConfig};
+use thrubarrier_defense::{DefenseMethod, DefenseSystem};
+use thrubarrier_phoneme::command::CommandBank;
+use thrubarrier_phoneme::corpus::{speaker_panel, training_corpus};
+use thrubarrier_phoneme::inventory::PhonemeId;
+use thrubarrier_phoneme::speaker::SpeakerProfile;
+use thrubarrier_phoneme::synth::Synthesizer;
+use thrubarrier_vibration::Wearable;
+
+/// Which segment selector drives the full method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorChoice {
+    /// The cheap voice-activity approximation (fast; used by unit tests
+    /// and `--quick` runs).
+    Energy,
+    /// The paper's pipeline: run offline phoneme selection, then train
+    /// the BRNN detector on a synthesized corpus.
+    Brnn {
+        /// Utterances in the training corpus.
+        corpus_size: usize,
+        /// Training epochs.
+        epochs: usize,
+        /// LSTM units per direction.
+        hidden: usize,
+    },
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Master seed; every trial derives its own seed from it.
+    pub seed: u64,
+    /// Number of participants taking turns as the legitimate user.
+    pub participants: usize,
+    /// Legitimate commands per participant.
+    pub commands_per_user: usize,
+    /// Attack trials per attack kind.
+    pub attacks_per_kind: usize,
+    /// Attack kinds evaluated.
+    pub attack_kinds: Vec<AttackKind>,
+    /// Trial physics variants cycled over (rooms, distances, SPLs).
+    pub settings: Vec<TrialSettings>,
+    /// Segment selector for the full method.
+    pub selector: SelectorChoice,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            seed: 0xB0A7,
+            participants: 6,
+            commands_per_user: 6,
+            attacks_per_kind: 36,
+            attack_kinds: vec![AttackKind::Replay],
+            settings: vec![TrialSettings::default()],
+            selector: SelectorChoice::Energy,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// Scores collected for one detection method.
+#[derive(Debug, Clone, Default)]
+pub struct ScorePool {
+    /// Scores of legitimate trials.
+    pub legitimate: Vec<f32>,
+    /// Scores of attack trials, keyed by kind.
+    pub attacks: Vec<(AttackKind, f32)>,
+}
+
+impl ScorePool {
+    /// All attack scores regardless of kind.
+    pub fn attack_scores(&self) -> Vec<f32> {
+        self.attacks.iter().map(|&(_, s)| s).collect()
+    }
+
+    /// Attack scores of one kind.
+    pub fn attack_scores_of(&self, kind: AttackKind) -> Vec<f32> {
+        self.attacks
+            .iter()
+            .filter(|&&(k, _)| k == kind)
+            .map(|&(_, s)| s)
+            .collect()
+    }
+
+    /// Metrics against all attacks.
+    pub fn metrics(&self) -> DetectionMetrics {
+        DetectionMetrics::from_scores(&self.legitimate, &self.attack_scores())
+    }
+
+    /// Metrics against one attack kind.
+    pub fn metrics_of(&self, kind: AttackKind) -> DetectionMetrics {
+        DetectionMetrics::from_scores(&self.legitimate, &self.attack_scores_of(kind))
+    }
+}
+
+/// Outcome of one runner execution: a score pool per method.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Pools indexed in the order of [`DefenseMethod::all`].
+    pub pools: Vec<(DefenseMethod, ScorePool)>,
+    /// The sensitive phonemes used by the full method (empty for the
+    /// energy selector).
+    pub sensitive_symbols: Vec<&'static str>,
+}
+
+impl EvalOutcome {
+    /// The score pool of one method.
+    pub fn pool(&self, method: DefenseMethod) -> &ScorePool {
+        &self
+            .pools
+            .iter()
+            .find(|(m, _)| *m == method)
+            .expect("all methods evaluated")
+            .1
+    }
+}
+
+/// A description of one trial to execute.
+#[derive(Debug, Clone)]
+enum TrialPlan {
+    Legitimate {
+        seed: u64,
+        user: usize,
+        command: usize,
+        setting: usize,
+    },
+    Attack {
+        seed: u64,
+        kind: AttackKind,
+        victim: usize,
+        adversary: usize,
+        command: usize,
+        setting: usize,
+    },
+}
+
+/// The experiment runner.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    config: RunnerConfig,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(config: RunnerConfig) -> Self {
+        Runner { config }
+    }
+
+    /// Builds the segment selector for the full method (trains the BRNN
+    /// when [`SelectorChoice::Brnn`] is configured) and returns it with
+    /// the sensitive symbols it encodes.
+    pub fn build_selector(&self) -> (Arc<dyn SegmentSelector>, Vec<&'static str>) {
+        match self.config.selector {
+            SelectorChoice::Energy => (Arc::new(EnergySelector::default()), Vec::new()),
+            SelectorChoice::Brnn {
+                corpus_size,
+                epochs,
+                hidden,
+            } => {
+                let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5E1EC7);
+                let panel = speaker_panel(3, 3, &mut rng);
+                let selection_cfg = SelectionConfig::default();
+                let selection =
+                    run_selection(&selection_cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
+                let sensitive: HashSet<PhonemeId> =
+                    selection.selected_ids().into_iter().collect();
+                let symbols = selection.selected_symbols();
+                let synth = Synthesizer::new(crate::scenario::AUDIO_RATE);
+                let corpus = training_corpus(&synth, corpus_size, &panel, &mut rng);
+                let cfg = DetectorTrainConfig {
+                    hidden_size: hidden,
+                    epochs,
+                    ..Default::default()
+                };
+                let detector = PhonemeDetector::train(&sensitive, &corpus, &cfg, &mut rng);
+                (Arc::new(detector), symbols)
+            }
+        }
+    }
+
+    /// Runs the evaluation over all three methods with the given
+    /// selector (build it once via [`Runner::build_selector`] and share
+    /// it across calls to avoid retraining).
+    pub fn run_with_selector(
+        &self,
+        selector: Arc<dyn SegmentSelector>,
+        sensitive_symbols: Vec<&'static str>,
+    ) -> EvalOutcome {
+        let plans = self.plan_trials();
+        let system = DefenseSystem::with_selector(Wearable::fossil_gen_5(), selector);
+        let cfg = &self.config;
+        let n_threads = cfg.threads.max(1);
+        let chunks: Vec<Vec<TrialPlan>> = split_round_robin(&plans, n_threads);
+        let results: Vec<Vec<(TrialPlan, [f32; 3])>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| {
+                    let system = &system;
+                    let cfg = cfg;
+                    scope.spawn(move || {
+                        let generator = TrialGenerator::new();
+                        let bank = CommandBank::standard();
+                        chunk
+                            .iter()
+                            .map(|plan| {
+                                let scores =
+                                    execute_plan(plan, cfg, &generator, &bank, system);
+                                (plan.clone(), scores)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut pools: Vec<(DefenseMethod, ScorePool)> = DefenseMethod::all()
+            .into_iter()
+            .map(|m| (m, ScorePool::default()))
+            .collect();
+        for chunk in results {
+            for (plan, scores) in chunk {
+                for (i, (_, pool)) in pools.iter_mut().enumerate() {
+                    match &plan {
+                        TrialPlan::Legitimate { .. } => pool.legitimate.push(scores[i]),
+                        TrialPlan::Attack { kind, .. } => pool.attacks.push((*kind, scores[i])),
+                    }
+                }
+            }
+        }
+        EvalOutcome {
+            pools,
+            sensitive_symbols,
+        }
+    }
+
+    /// Convenience: builds the selector and runs.
+    pub fn run(&self) -> EvalOutcome {
+        let (selector, symbols) = self.build_selector();
+        self.run_with_selector(selector, symbols)
+    }
+
+    fn plan_trials(&self) -> Vec<TrialPlan> {
+        let cfg = &self.config;
+        let mut plans = Vec::new();
+        let mut counter = 0u64;
+        let next_seed = |counter: &mut u64| {
+            *counter += 1;
+            cfg.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(*counter)
+        };
+        for user in 0..cfg.participants {
+            for command in 0..cfg.commands_per_user {
+                let setting = (user * cfg.commands_per_user + command) % cfg.settings.len();
+                plans.push(TrialPlan::Legitimate {
+                    seed: next_seed(&mut counter),
+                    user,
+                    command,
+                    setting,
+                });
+            }
+        }
+        for &kind in &cfg.attack_kinds {
+            for i in 0..cfg.attacks_per_kind {
+                let victim = i % cfg.participants;
+                let adversary = (victim + 1 + i / cfg.participants) % cfg.participants.max(2);
+                plans.push(TrialPlan::Attack {
+                    seed: next_seed(&mut counter),
+                    kind,
+                    victim,
+                    adversary: if adversary == victim {
+                        (victim + 1) % cfg.participants.max(2)
+                    } else {
+                        adversary
+                    },
+                    command: i,
+                    setting: i % cfg.settings.len(),
+                });
+            }
+        }
+        plans
+    }
+}
+
+fn split_round_robin<T: Clone>(items: &[T], n: usize) -> Vec<Vec<T>> {
+    let mut out = vec![Vec::new(); n];
+    for (i, item) in items.iter().enumerate() {
+        out[i % n].push(item.clone());
+    }
+    out.retain(|c| !c.is_empty());
+    out
+}
+
+/// The speaker profile of participant `i` under master seed `seed` —
+/// deterministic, so every worker derives the same panel.
+fn participant(seed: u64, i: usize) -> SpeakerProfile {
+    let mut rng = StdRng::seed_from_u64(seed ^ (0xFACE_0000 + i as u64));
+    SpeakerProfile::random(&mut rng)
+}
+
+fn execute_plan(
+    plan: &TrialPlan,
+    cfg: &RunnerConfig,
+    generator: &TrialGenerator,
+    bank: &CommandBank,
+    system: &DefenseSystem,
+) -> [f32; 3] {
+    let (trial, seed) = match plan {
+        TrialPlan::Legitimate {
+            seed,
+            user,
+            command,
+            setting,
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let speaker = participant(cfg.seed, *user);
+            let cmd = &bank.commands()[*command % bank.len()];
+            let settings = &cfg.settings[*setting];
+            (
+                generator.legitimate(cmd, &speaker, settings, &mut rng),
+                *seed,
+            )
+        }
+        TrialPlan::Attack {
+            seed,
+            kind,
+            victim,
+            adversary,
+            command,
+            setting,
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let victim = participant(cfg.seed, *victim);
+            let adversary = participant(cfg.seed, *adversary + 101);
+            let cmd = &bank.commands()[*command % bank.len()];
+            let settings = &cfg.settings[*setting];
+            (
+                generator.attack(*kind, cmd, &victim, &adversary, settings, &mut rng),
+                *seed,
+            )
+        }
+    };
+    score_trial(&trial, seed, system)
+}
+
+/// Scores one trial with all three methods (deterministic per seed).
+pub fn score_trial(trial: &Trial, seed: u64, system: &DefenseSystem) -> [f32; 3] {
+    let mut out = [0.0f32; 3];
+    for (i, method) in DefenseMethod::all().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0xC0FFEE + i as u64));
+        out[i] = system.score_with_method(
+            method,
+            &trial.va_recording,
+            &trial.wearable_recording,
+            &mut rng,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> RunnerConfig {
+        RunnerConfig {
+            seed: 7,
+            participants: 2,
+            commands_per_user: 2,
+            attacks_per_kind: 4,
+            attack_kinds: vec![AttackKind::Replay],
+            settings: vec![TrialSettings::default()],
+            selector: SelectorChoice::Energy,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn runner_produces_expected_counts() {
+        let outcome = Runner::new(tiny_config()).run();
+        for (_, pool) in &outcome.pools {
+            assert_eq!(pool.legitimate.len(), 4);
+            assert_eq!(pool.attacks.len(), 4);
+        }
+    }
+
+    #[test]
+    fn full_method_separates_better_than_audio_baseline() {
+        let mut cfg = tiny_config();
+        cfg.participants = 3;
+        cfg.commands_per_user = 4;
+        cfg.attacks_per_kind = 12;
+        let outcome = Runner::new(cfg).run();
+        let audio = outcome.pool(DefenseMethod::AudioBaseline).metrics();
+        let full = outcome.pool(DefenseMethod::Full).metrics();
+        assert!(
+            full.auc >= audio.auc,
+            "full {} vs audio {}",
+            full.auc,
+            audio.auc
+        );
+        // The full system must be strongly discriminative even on this
+        // tiny sample.
+        assert!(full.auc > 0.85, "full auc {}", full.auc);
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let a = Runner::new(tiny_config()).run();
+        let b = Runner::new(tiny_config()).run();
+        assert_eq!(
+            a.pool(DefenseMethod::Full).legitimate,
+            b.pool(DefenseMethod::Full).legitimate
+        );
+        assert_eq!(
+            a.pool(DefenseMethod::Full).attack_scores(),
+            b.pool(DefenseMethod::Full).attack_scores()
+        );
+    }
+
+    #[test]
+    fn score_pool_filters_by_kind() {
+        let mut pool = ScorePool::default();
+        pool.attacks.push((AttackKind::Replay, 0.1));
+        pool.attacks.push((AttackKind::Random, 0.2));
+        assert_eq!(pool.attack_scores_of(AttackKind::Replay), vec![0.1]);
+        assert_eq!(pool.attack_scores().len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Affine (fully-connected) layer.
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+
+/// A fully-connected layer `y = W x + b` applied independently per frame.
+///
+/// The paper attaches a dense layer with 2 neurons to the BRNN for binary
+/// effective-phoneme detection (Sec. V-B).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights, `out x in`.
+    pub w: Param,
+    /// Bias, `out x 1`.
+    pub b: Param,
+}
+
+/// Cached inputs for the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    inputs: Vec<Vec<f32>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights and zero
+    /// bias.
+    pub fn new<R: Rng + ?Sized>(input_size: usize, output_size: usize, rng: &mut R) -> Self {
+        Dense {
+            w: Param::new(Matrix::xavier(output_size, input_size, rng)),
+            b: Param::new(Matrix::zeros(output_size, 1)),
+        }
+    }
+
+    /// Reconstructs a dense layer from explicit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the bias shape does not match.
+    pub fn from_weights(w: Matrix, b: Matrix) -> Result<Self, String> {
+        if b.rows() != w.rows() || b.cols() != 1 {
+            return Err(format!(
+                "bias {}x{} does not match weights {}x{}",
+                b.rows(),
+                b.cols(),
+                w.rows(),
+                w.cols()
+            ));
+        }
+        Ok(Dense {
+            w: Param::new(w),
+            b: Param::new(b),
+        })
+    }
+
+    /// Output dimension.
+    pub fn output_size(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Input dimension.
+    pub fn input_size(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Applies the layer to every frame in the sequence.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, DenseCache) {
+        let outs = xs
+            .iter()
+            .map(|x| {
+                let mut y = self.w.value.matvec(x);
+                for (v, &bias) in y.iter_mut().zip(self.b.value.data()) {
+                    *v += bias;
+                }
+                y
+            })
+            .collect();
+        (outs, DenseCache { inputs: xs.to_vec() })
+    }
+
+    /// Backpropagates per-frame output gradients, accumulating parameter
+    /// gradients and returning per-frame input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dys.len()` differs from the cached sequence length.
+    pub fn backward(&mut self, cache: &DenseCache, dys: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(dys.len(), cache.inputs.len(), "gradient length mismatch");
+        let mut dxs = Vec::with_capacity(dys.len());
+        for (x, dy) in cache.inputs.iter().zip(dys) {
+            self.w.grad.add_outer(dy, x);
+            for (slot, &d) in self.b.grad.data_mut().iter_mut().zip(dy) {
+                *slot += d;
+            }
+            dxs.push(self.w.value.matvec_transposed(dy));
+        }
+        dxs
+    }
+
+    /// The layer's trainable parameters.
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dense::new(4, 2, &mut rng);
+        let xs = vec![vec![0.0; 4]; 3];
+        let (ys, _) = d.forward(&xs);
+        assert_eq!(ys.len(), 3);
+        assert!(ys.iter().all(|y| y.len() == 2));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let xs = vec![vec![0.3, -0.7, 0.5], vec![1.0, 0.0, -1.0]];
+        let loss = |l: &Dense| -> f32 { l.forward(&xs).0.iter().flatten().sum() };
+        let (_, cache) = layer.forward(&xs);
+        let dys = vec![vec![1.0f32; 2]; 2];
+        let dxs = layer.backward(&cache, &dys);
+        let eps = 1e-3f32;
+        for k in 0..6 {
+            let analytic = layer.w.grad.data()[k];
+            let mut l2 = layer.clone();
+            l2.w.value.data_mut()[k] += eps;
+            let up = loss(&l2);
+            l2.w.value.data_mut()[k] -= 2.0 * eps;
+            let down = loss(&l2);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-2, "w[{k}]");
+        }
+        // Input gradient = column sums of W for unit output gradient.
+        for j in 0..3 {
+            let expected = layer.w.value.get(0, j) + layer.w.value.get(1, j);
+            assert!((dxs[0][j] - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_over_frames() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let xs = vec![vec![0.0; 2]; 4];
+        let (_, cache) = layer.forward(&xs);
+        let dys = vec![vec![1.0, 2.0]; 4];
+        layer.backward(&cache, &dys);
+        assert!((layer.b.grad.get(0, 0) - 4.0).abs() < 1e-6);
+        assert!((layer.b.grad.get(1, 0) - 8.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,378 @@
+//! GRU and bidirectional GRU layers with backpropagation through time.
+//!
+//! The paper's reference [Shewalkar et al., JAISCR'19] compares RNN,
+//! LSTM and GRU for speech tasks; this module lets the workspace run the
+//! same architecture comparison for the phoneme detector (see the
+//! `detector_architectures` extension experiment). Gate layout is
+//! `[z, r, n]` (update, reset, candidate).
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A single-direction GRU layer.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    /// Input weights, `3H x D`.
+    pub w: Param,
+    /// Recurrent weights, `3H x H`.
+    pub u: Param,
+    /// Bias, `3H x 1`.
+    pub b: Param,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    z: Vec<f32>,
+    r: Vec<f32>,
+    n: Vec<f32>,
+    un_h: Vec<f32>,
+}
+
+/// Forward-pass cache for a sequence.
+#[derive(Debug, Clone)]
+pub struct GruCache {
+    steps: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a GRU with Xavier-initialized weights.
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        Gru {
+            w: Param::new(Matrix::xavier(3 * hidden_size, input_size, rng)),
+            u: Param::new(Matrix::xavier(3 * hidden_size, hidden_size, rng)),
+            b: Param::new(Matrix::zeros(3 * hidden_size, 1)),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Runs the layer over a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input vector's length differs from the input size.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, GruCache) {
+        let hs = self.hidden_size;
+        let mut h = vec![0.0f32; hs];
+        let mut outputs = Vec::with_capacity(xs.len());
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.len(), self.input_size, "input dimension mismatch");
+            let wx = self.w.value.matvec(x);
+            let uh = self.u.value.matvec(&h);
+            let b = self.b.value.data();
+            let mut z = vec![0.0f32; hs];
+            let mut r = vec![0.0f32; hs];
+            for k in 0..hs {
+                z[k] = sigmoid(wx[k] + uh[k] + b[k]);
+                r[k] = sigmoid(wx[hs + k] + uh[hs + k] + b[hs + k]);
+            }
+            let un_h: Vec<f32> = (0..hs).map(|k| uh[2 * hs + k]).collect();
+            let mut n = vec![0.0f32; hs];
+            for k in 0..hs {
+                n[k] = (wx[2 * hs + k] + r[k] * un_h[k] + b[2 * hs + k]).tanh();
+            }
+            let h_prev = h.clone();
+            for k in 0..hs {
+                h[k] = (1.0 - z[k]) * n[k] + z[k] * h_prev[k];
+            }
+            outputs.push(h.clone());
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev,
+                z,
+                r,
+                n,
+                un_h,
+            });
+        }
+        (outputs, GruCache { steps })
+    }
+
+    /// Backpropagates through time, accumulating parameter gradients and
+    /// returning input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len()` differs from the cached sequence length.
+    pub fn backward(&mut self, cache: &GruCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(dhs.len(), cache.steps.len(), "gradient length mismatch");
+        let hs = self.hidden_size;
+        let mut dxs = vec![vec![0.0f32; self.input_size]; dhs.len()];
+        let mut dh_next = vec![0.0f32; hs];
+        for t in (0..cache.steps.len()).rev() {
+            let s = &cache.steps[t];
+            let mut dh: Vec<f32> = dhs[t].clone();
+            for (a, b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let mut dz_pre = vec![0.0f32; hs];
+            let mut dr_pre = vec![0.0f32; hs];
+            let mut dn_pre = vec![0.0f32; hs];
+            let mut dh_prev = vec![0.0f32; hs];
+            for k in 0..hs {
+                let dz = dh[k] * (s.h_prev[k] - s.n[k]);
+                let dn = dh[k] * (1.0 - s.z[k]);
+                dh_prev[k] += dh[k] * s.z[k];
+                dz_pre[k] = dz * s.z[k] * (1.0 - s.z[k]);
+                dn_pre[k] = dn * (1.0 - s.n[k] * s.n[k]);
+                let dr = dn_pre[k] * s.un_h[k];
+                dr_pre[k] = dr * s.r[k] * (1.0 - s.r[k]);
+            }
+            // Stack gate pre-activation gradients: [z, r, n].
+            let mut dgates = vec![0.0f32; 3 * hs];
+            dgates[..hs].copy_from_slice(&dz_pre);
+            dgates[hs..2 * hs].copy_from_slice(&dr_pre);
+            dgates[2 * hs..].copy_from_slice(&dn_pre);
+            self.w.grad.add_outer(&dgates, &s.x);
+            for (slot, &d) in self.b.grad.data_mut().iter_mut().zip(&dgates) {
+                *slot += d;
+            }
+            // U gradients: z and r rows see h_prev directly; the n rows
+            // see h_prev through the reset gate.
+            let mut du_rows = vec![0.0f32; 3 * hs];
+            du_rows[..hs].copy_from_slice(&dz_pre);
+            du_rows[hs..2 * hs].copy_from_slice(&dr_pre);
+            for k in 0..hs {
+                du_rows[2 * hs + k] = dn_pre[k] * s.r[k];
+            }
+            self.u.grad.add_outer(&du_rows, &s.h_prev);
+            dxs[t] = self.w.value.matvec_transposed(&dgates);
+            let dh_through_u = self.u.value.matvec_transposed(&du_rows);
+            for (a, b) in dh_prev.iter_mut().zip(&dh_through_u) {
+                *a += b;
+            }
+            dh_next = dh_prev;
+        }
+        dxs
+    }
+
+    /// The layer's trainable parameters.
+    pub fn params_mut(&mut self) -> [&mut Param; 3] {
+        [&mut self.w, &mut self.u, &mut self.b]
+    }
+}
+
+/// Bidirectional GRU: forward and backward hidden states are summed,
+/// mirroring [`crate::lstm::BiLstm`].
+#[derive(Debug, Clone)]
+pub struct BiGru {
+    /// Forward-direction layer.
+    pub fwd: Gru,
+    /// Backward-direction layer.
+    pub bwd: Gru,
+}
+
+/// Forward cache for [`BiGru`].
+#[derive(Debug, Clone)]
+pub struct BiGruCache {
+    fwd: GruCache,
+    bwd: GruCache,
+}
+
+impl BiGru {
+    /// Creates a bidirectional GRU.
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        BiGru {
+            fwd: Gru::new(input_size, hidden_size, rng),
+            bwd: Gru::new(input_size, hidden_size, rng),
+        }
+    }
+
+    /// Hidden dimension of the summed output.
+    pub fn hidden_size(&self) -> usize {
+        self.fwd.hidden_size()
+    }
+
+    /// Runs both directions and sums per-timestep states.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiGruCache) {
+        let (hf, cf) = self.fwd.forward(xs);
+        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
+        let (hb, cb) = self.bwd.forward(&rev);
+        let t_len = xs.len();
+        let out = (0..t_len)
+            .map(|t| {
+                hf[t].iter()
+                    .zip(&hb[t_len - 1 - t])
+                    .map(|(a, b)| a + b)
+                    .collect()
+            })
+            .collect();
+        (out, BiGruCache { fwd: cf, bwd: cb })
+    }
+
+    /// Backpropagates both directions.
+    pub fn backward(&mut self, cache: &BiGruCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let t_len = dhs.len();
+        let dx_f = self.fwd.backward(&cache.fwd, dhs);
+        let rev_dhs: Vec<Vec<f32>> = dhs.iter().rev().cloned().collect();
+        let dx_b = self.bwd.backward(&cache.bwd, &rev_dhs);
+        let mut dxs = dx_f;
+        for t in 0..t_len {
+            for (a, b) in dxs[t].iter_mut().zip(&dx_b[t_len - 1 - t]) {
+                *a += b;
+            }
+        }
+        dxs
+    }
+
+    /// All trainable parameters of both directions.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let (f, b) = (&mut self.fwd, &mut self.bwd);
+        vec![&mut f.w, &mut f.u, &mut f.b, &mut b.w, &mut b.u, &mut b.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_inputs(t_len: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..t_len)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(3, 5, &mut rng);
+        let xs = toy_inputs(7, 3, 2);
+        let (hs, _) = gru.forward(&xs);
+        assert_eq!(hs.len(), 7);
+        for h in &hs {
+            assert_eq!(h.len(), 5);
+            for &v in h {
+                assert!(v.abs() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gru_gradients_match_finite_differences() {
+        let (d, h, t_len) = (3usize, 4usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut gru = Gru::new(d, h, &mut rng);
+        let xs = toy_inputs(t_len, d, 43);
+        let loss = |g: &Gru| -> f32 { g.forward(&xs).0.iter().flatten().sum() };
+        let (_, cache) = gru.forward(&xs);
+        let dhs = vec![vec![1.0f32; h]; t_len];
+        let dxs = gru.backward(&cache, &dhs);
+
+        let eps = 1e-3f32;
+        for (pidx, k) in [(0usize, 0usize), (0, 7), (1, 3), (1, 11), (2, 2), (2, 9)] {
+            let analytic = match pidx {
+                0 => gru.w.grad.data()[k],
+                1 => gru.u.grad.data()[k],
+                _ => gru.b.grad.data()[k],
+            };
+            let mut g2 = gru.clone();
+            {
+                let p = match pidx {
+                    0 => &mut g2.w,
+                    1 => &mut g2.u,
+                    _ => &mut g2.b,
+                };
+                p.value.data_mut()[k] += eps;
+            }
+            let up = loss(&g2);
+            {
+                let p = match pidx {
+                    0 => &mut g2.w,
+                    1 => &mut g2.u,
+                    _ => &mut g2.b,
+                };
+                p.value.data_mut()[k] -= 2.0 * eps;
+            }
+            let down = loss(&g2);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "param {pidx}[{k}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // Input gradients.
+        for t in [0usize, 2, 4] {
+            for j in 0..d {
+                let mut xs2 = xs.clone();
+                xs2[t][j] += eps;
+                let up: f32 = gru.forward(&xs2).0.iter().flatten().sum();
+                xs2[t][j] -= 2.0 * eps;
+                let down: f32 = gru.forward(&xs2).0.iter().flatten().sum();
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (dxs[t][j] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "dx[{t}][{j}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bigru_sees_future_context() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let bi = BiGru::new(2, 4, &mut rng);
+        let a = vec![vec![0.1, 0.2]; 6];
+        let mut b = a.clone();
+        b[5] = vec![0.9, -0.9];
+        let (ha, _) = bi.forward(&a);
+        let (hb, _) = bi.forward(&b);
+        let d0: f32 = ha[0].iter().zip(&hb[0]).map(|(x, y)| (x - y).abs()).sum();
+        assert!(d0 > 1e-4);
+    }
+
+    #[test]
+    fn bigru_gradcheck_on_inputs() {
+        let (d, h, t_len) = (2usize, 3usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut bi = BiGru::new(d, h, &mut rng);
+        let xs = toy_inputs(t_len, d, 78);
+        let (_, cache) = bi.forward(&xs);
+        let dhs = vec![vec![1.0f32; h]; t_len];
+        let dxs = bi.backward(&cache, &dhs);
+        let eps = 1e-3f32;
+        for t in 0..t_len {
+            for j in 0..d {
+                let mut xs2 = xs.clone();
+                xs2[t][j] += eps;
+                let up: f32 = bi.forward(&xs2).0.iter().flatten().sum();
+                xs2[t][j] -= 2.0 * eps;
+                let down: f32 = bi.forward(&xs2).0.iter().flatten().sum();
+                let numeric = (up - down) / (2.0 * eps);
+                assert!((dxs[t][j] - numeric).abs() < 2e-2 * numeric.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_ok() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gru = Gru::new(3, 5, &mut rng);
+        let (hs, cache) = gru.forward(&[]);
+        assert!(hs.is_empty());
+        assert!(gru.backward(&cache, &[]).is_empty());
+    }
+}

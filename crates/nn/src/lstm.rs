@@ -1,0 +1,488 @@
+//! LSTM and bidirectional LSTM layers with backpropagation through time.
+//!
+//! Gate layout follows the common stacked convention `[i, f, g, o]`
+//! (input, forget, cell-candidate, output). The bidirectional wrapper
+//! *sums* the forward and backward hidden states, matching the paper's
+//! `h_t = h→_t + h←_t` (Sec. V-B, Eq. 4).
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// A single-direction LSTM layer.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input weights, `4H x D`.
+    pub w: Param,
+    /// Recurrent weights, `4H x H`.
+    pub u: Param,
+    /// Bias, `4H x 1`.
+    pub b: Param,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+/// Cached activations for one timestep, needed by the backward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// Forward-pass cache for a whole sequence.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights. The forget-gate
+    /// bias is initialized to `1.0` (standard practice to ease gradient
+    /// flow early in training).
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        let w = Matrix::xavier(4 * hidden_size, input_size, rng);
+        let u = Matrix::xavier(4 * hidden_size, hidden_size, rng);
+        let mut b = Matrix::zeros(4 * hidden_size, 1);
+        for h in 0..hidden_size {
+            b.set(hidden_size + h, 0, 1.0); // forget gate bias
+        }
+        Lstm {
+            w: Param::new(w),
+            u: Param::new(u),
+            b: Param::new(b),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Reconstructs an LSTM from explicit weight matrices (e.g. loaded
+    /// from disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the shapes are inconsistent.
+    pub fn from_weights(w: Matrix, u: Matrix, b: Matrix) -> Result<Self, String> {
+        let four_h = w.rows();
+        if four_h == 0 || four_h % 4 != 0 {
+            return Err(format!("gate dimension {four_h} is not 4*H"));
+        }
+        let hidden_size = four_h / 4;
+        let input_size = w.cols();
+        if u.rows() != four_h || u.cols() != hidden_size {
+            return Err(format!(
+                "recurrent weights {}x{} do not match hidden size {hidden_size}",
+                u.rows(),
+                u.cols()
+            ));
+        }
+        if b.rows() != four_h || b.cols() != 1 {
+            return Err(format!("bias {}x{} does not match", b.rows(), b.cols()));
+        }
+        Ok(Lstm {
+            w: Param::new(w),
+            u: Param::new(u),
+            b: Param::new(b),
+            input_size,
+            hidden_size,
+        })
+    }
+
+    /// Input dimension.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Runs the layer over a sequence, returning hidden states for every
+    /// timestep and the cache needed by [`Lstm::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector's length differs from the configured
+    /// input size.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, LstmCache) {
+        let hs_len = self.hidden_size;
+        let mut h = vec![0.0f32; hs_len];
+        let mut c = vec![0.0f32; hs_len];
+        let mut outputs = Vec::with_capacity(xs.len());
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            assert_eq!(x.len(), self.input_size, "input dimension mismatch");
+            let mut z = self.w.value.matvec(x);
+            let zu = self.u.value.matvec(&h);
+            for (a, (b, &bias)) in z
+                .iter_mut()
+                .zip(zu.iter().zip(self.b.value.data()))
+            {
+                *a += b + bias;
+            }
+            let mut gi = vec![0.0f32; hs_len];
+            let mut gf = vec![0.0f32; hs_len];
+            let mut gg = vec![0.0f32; hs_len];
+            let mut go = vec![0.0f32; hs_len];
+            for k in 0..hs_len {
+                gi[k] = sigmoid(z[k]);
+                gf[k] = sigmoid(z[hs_len + k]);
+                gg[k] = z[2 * hs_len + k].tanh();
+                go[k] = sigmoid(z[3 * hs_len + k]);
+            }
+            let c_prev = c.clone();
+            let h_prev = h.clone();
+            let mut tanh_c = vec![0.0f32; hs_len];
+            for k in 0..hs_len {
+                c[k] = gf[k] * c_prev[k] + gi[k] * gg[k];
+                tanh_c[k] = c[k].tanh();
+                h[k] = go[k] * tanh_c[k];
+            }
+            outputs.push(h.clone());
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev,
+                c_prev,
+                i: gi,
+                f: gf,
+                g: gg,
+                o: go,
+                tanh_c,
+            });
+        }
+        (outputs, LstmCache { steps })
+    }
+
+    /// Backpropagates through time. `dhs` holds the loss gradient with
+    /// respect to each output hidden state. Parameter gradients are
+    /// *accumulated* into `self.{w,u,b}.grad`; the gradient with respect
+    /// to each input vector is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len()` differs from the cached sequence length.
+    pub fn backward(&mut self, cache: &LstmCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(dhs.len(), cache.steps.len(), "gradient length mismatch");
+        let hs_len = self.hidden_size;
+        let mut dxs = vec![vec![0.0f32; self.input_size]; dhs.len()];
+        let mut dh_next = vec![0.0f32; hs_len];
+        let mut dc_next = vec![0.0f32; hs_len];
+        for t in (0..cache.steps.len()).rev() {
+            let s = &cache.steps[t];
+            // Total gradient flowing into h_t.
+            let mut dh = dhs[t].clone();
+            for (a, b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let mut dz = vec![0.0f32; 4 * hs_len];
+            let mut dc = dc_next.clone();
+            for k in 0..hs_len {
+                // dC from h = o * tanh(c).
+                dc[k] += dh[k] * s.o[k] * (1.0 - s.tanh_c[k] * s.tanh_c[k]);
+                let d_o = dh[k] * s.tanh_c[k];
+                let d_i = dc[k] * s.g[k];
+                let d_f = dc[k] * s.c_prev[k];
+                let d_g = dc[k] * s.i[k];
+                dz[k] = d_i * s.i[k] * (1.0 - s.i[k]);
+                dz[hs_len + k] = d_f * s.f[k] * (1.0 - s.f[k]);
+                dz[2 * hs_len + k] = d_g * (1.0 - s.g[k] * s.g[k]);
+                dz[3 * hs_len + k] = d_o * s.o[k] * (1.0 - s.o[k]);
+            }
+            self.w.grad.add_outer(&dz, &s.x);
+            self.u.grad.add_outer(&dz, &s.h_prev);
+            for (slot, &d) in self.b.grad.data_mut().iter_mut().zip(&dz) {
+                *slot += d;
+            }
+            dxs[t] = self.w.value.matvec_transposed(&dz);
+            dh_next = self.u.value.matvec_transposed(&dz);
+            for k in 0..hs_len {
+                dc_next[k] = dc[k] * s.f[k];
+            }
+        }
+        dxs
+    }
+
+    /// The layer's trainable parameters.
+    pub fn params_mut(&mut self) -> [&mut Param; 3] {
+        [&mut self.w, &mut self.u, &mut self.b]
+    }
+}
+
+/// Bidirectional LSTM: a forward-direction and a backward-direction LSTM
+/// whose hidden states are summed per timestep.
+#[derive(Debug, Clone)]
+pub struct BiLstm {
+    /// Forward-direction layer.
+    pub fwd: Lstm,
+    /// Backward-direction layer.
+    pub bwd: Lstm,
+}
+
+/// Forward cache for [`BiLstm`].
+#[derive(Debug, Clone)]
+pub struct BiLstmCache {
+    fwd: LstmCache,
+    bwd: LstmCache,
+}
+
+impl BiLstm {
+    /// Creates a bidirectional LSTM (both directions sized
+    /// `input_size -> hidden_size`).
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        BiLstm {
+            fwd: Lstm::new(input_size, hidden_size, rng),
+            bwd: Lstm::new(input_size, hidden_size, rng),
+        }
+    }
+
+    /// Hidden dimension of the summed output.
+    pub fn hidden_size(&self) -> usize {
+        self.fwd.hidden_size()
+    }
+
+    /// Runs both directions and sums their hidden states per timestep.
+    pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiLstmCache) {
+        let (hf, cache_f) = self.fwd.forward(xs);
+        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
+        let (hb, cache_b) = self.bwd.forward(&rev);
+        let t_len = xs.len();
+        let mut out = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let mut h = hf[t].clone();
+            for (a, b) in h.iter_mut().zip(&hb[t_len - 1 - t]) {
+                *a += b;
+            }
+            out.push(h);
+        }
+        (out, BiLstmCache { fwd: cache_f, bwd: cache_b })
+    }
+
+    /// Backpropagates through both directions, accumulating parameter
+    /// gradients and returning input gradients.
+    pub fn backward(&mut self, cache: &BiLstmCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let t_len = dhs.len();
+        let dx_f = self.fwd.backward(&cache.fwd, dhs);
+        let rev_dhs: Vec<Vec<f32>> = dhs.iter().rev().cloned().collect();
+        let dx_b = self.bwd.backward(&cache.bwd, &rev_dhs);
+        let mut dxs = dx_f;
+        for t in 0..t_len {
+            for (a, b) in dxs[t].iter_mut().zip(&dx_b[t_len - 1 - t]) {
+                *a += b;
+            }
+        }
+        dxs
+    }
+
+    /// All trainable parameters of both directions.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let (f, b) = (&mut self.fwd, &mut self.bwd);
+        vec![
+            &mut f.w, &mut f.u, &mut f.b,
+            &mut b.w, &mut b.u, &mut b.b,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_inputs(t_len: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..t_len)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_output_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let xs = toy_inputs(7, 3, 2);
+        let (hs, _) = lstm.forward(&xs);
+        assert_eq!(hs.len(), 7);
+        assert!(hs.iter().all(|h| h.len() == 5));
+    }
+
+    #[test]
+    fn hidden_states_are_bounded_by_one() {
+        // h = o * tanh(c), both factors in (-1, 1).
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(4, 8, &mut rng);
+        let xs = toy_inputs(20, 4, 4);
+        let (hs, _) = lstm.forward(&xs);
+        for h in &hs {
+            for &v in h {
+                assert!(v.abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_ok() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let (hs, cache) = lstm.forward(&[]);
+        assert!(hs.is_empty());
+        let dxs = lstm.backward(&cache, &[]);
+        assert!(dxs.is_empty());
+    }
+
+    /// Finite-difference gradient check for the unidirectional LSTM.
+    #[test]
+    fn lstm_gradients_match_finite_differences() {
+        let (d, h, t_len) = (3usize, 4usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut lstm = Lstm::new(d, h, &mut rng);
+        let xs = toy_inputs(t_len, d, 43);
+        // Loss = sum of all hidden activations (gradient of 1 everywhere).
+        let loss = |l: &Lstm| -> f32 {
+            let (hs, _) = l.forward(&xs);
+            hs.iter().flatten().sum()
+        };
+        let (_, cache) = lstm.forward(&xs);
+        let dhs = vec![vec![1.0f32; h]; t_len];
+        let dxs = lstm.backward(&cache, &dhs);
+
+        let eps = 1e-3f32;
+        // Check a sample of weight entries in each parameter.
+        for (pname, pidx) in [("w", 0usize), ("u", 1), ("b", 2)] {
+            for k in [0usize, 1, 5] {
+                let mut l2 = lstm.clone();
+                let analytic = {
+                    let p = match pidx {
+                        0 => &lstm.w,
+                        1 => &lstm.u,
+                        _ => &lstm.b,
+                    };
+                    if k >= p.grad.data().len() {
+                        continue;
+                    }
+                    p.grad.data()[k]
+                };
+                {
+                    let p = match pidx {
+                        0 => &mut l2.w,
+                        1 => &mut l2.u,
+                        _ => &mut l2.b,
+                    };
+                    p.value.data_mut()[k] += eps;
+                }
+                let up = loss(&l2);
+                {
+                    let p = match pidx {
+                        0 => &mut l2.w,
+                        1 => &mut l2.u,
+                        _ => &mut l2.b,
+                    };
+                    p.value.data_mut()[k] -= 2.0 * eps;
+                }
+                let down = loss(&l2);
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 2e-2 * analytic.abs().max(1.0),
+                    "{pname}[{k}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+        // Check input gradients.
+        for t in [0usize, 2, 4] {
+            for j in 0..d {
+                let mut xs2 = xs.clone();
+                xs2[t][j] += eps;
+                let up: f32 = lstm.forward(&xs2).0.iter().flatten().sum();
+                xs2[t][j] -= 2.0 * eps;
+                let down: f32 = lstm.forward(&xs2).0.iter().flatten().sum();
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (dxs[t][j] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "dx[{t}][{j}]: analytic {} vs numeric {numeric}",
+                    dxs[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_output_is_sum_of_directions() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bi = BiLstm::new(3, 4, &mut rng);
+        let xs = toy_inputs(6, 3, 10);
+        let (out, _) = bi.forward(&xs);
+        let (hf, _) = bi.fwd.forward(&xs);
+        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
+        let (hb, _) = bi.bwd.forward(&rev);
+        for t in 0..6 {
+            for k in 0..4 {
+                assert!((out[t][k] - (hf[t][k] + hb[5 - t][k])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_sees_future_context() {
+        // Construct two sequences identical up to t=2 but differing later;
+        // a bidirectional network's early outputs must differ, a forward
+        // LSTM's must not.
+        let mut rng = StdRng::seed_from_u64(21);
+        let bi = BiLstm::new(2, 4, &mut rng);
+        let a = vec![vec![0.1, 0.2]; 6];
+        let mut b = a.clone();
+        b[5] = vec![0.9, -0.9];
+        let (ha, _) = bi.forward(&a);
+        let (hb, _) = bi.forward(&b);
+        let d0: f32 = ha[0]
+            .iter()
+            .zip(&hb[0])
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(d0 > 1e-4, "bidirectional output at t=0 ignored the future");
+        let (fa, _) = bi.fwd.forward(&a);
+        let (fb, _) = bi.fwd.forward(&b);
+        let df: f32 = fa[0]
+            .iter()
+            .zip(&fb[0])
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(df < 1e-7, "forward LSTM at t=0 cannot depend on the future");
+    }
+
+    #[test]
+    fn bilstm_gradcheck_on_inputs() {
+        let (d, h, t_len) = (2usize, 3usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut bi = BiLstm::new(d, h, &mut rng);
+        let xs = toy_inputs(t_len, d, 78);
+        let (_, cache) = bi.forward(&xs);
+        let dhs = vec![vec![1.0f32; h]; t_len];
+        let dxs = bi.backward(&cache, &dhs);
+        let eps = 1e-3f32;
+        for t in 0..t_len {
+            for j in 0..d {
+                let mut xs2 = xs.clone();
+                xs2[t][j] += eps;
+                let up: f32 = bi.forward(&xs2).0.iter().flatten().sum();
+                xs2[t][j] -= 2.0 * eps;
+                let down: f32 = bi.forward(&xs2).0.iter().flatten().sum();
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (dxs[t][j] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "dx[{t}][{j}]"
+                );
+            }
+        }
+    }
+}

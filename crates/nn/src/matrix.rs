@@ -1,0 +1,228 @@
+//! Dense row-major matrix with the handful of operations the LSTM needs.
+
+use rand::Rng;
+
+/// A dense row-major `f32` matrix.
+///
+/// # Example
+///
+/// ```
+/// use thrubarrier_nn::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let v = m.matvec(&[1.0, 1.0]);
+/// assert_eq!(v, vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "inconsistent row lengths");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization: entries uniform in
+    /// `[-s, s]` with `s = sqrt(6 / (rows + cols))`.
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let s = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-s..=s)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable access to the raw data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0f32; self.rows];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *slot = acc;
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x` — used in
+    /// backpropagation without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0f32; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = self.row(r);
+            for (o, &w) in out.iter_mut().zip(row) {
+                *o += w * xr;
+            }
+        }
+        out
+    }
+
+    /// Accumulates the outer product `x ⊗ y` into the matrix — used for
+    /// weight gradients (`dW += dgate ⊗ input`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == rows` and `y.len() == cols`.
+    pub fn add_outer(&mut self, x: &[f32], y: &[f32]) {
+        assert_eq!(x.len(), self.rows, "outer product row mismatch");
+        assert_eq!(y.len(), self.cols, "outer product col mismatch");
+        for (r, &xr) in x.iter().enumerate() {
+            let base = r * self.cols;
+            for (c, &yc) in y.iter().enumerate() {
+                self.data[base + c] += xr * yc;
+            }
+        }
+    }
+
+    /// Sets all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of squares of all elements (for gradient-norm diagnostics).
+    pub fn frobenius_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, -1.0, 1.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_matches_explicit_transpose() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let x = [1.0, 0.5, -1.0];
+        let got = m.matvec_transposed(&x);
+        // Explicit: columns of m dotted with x.
+        assert_eq!(got, vec![1.0 + 1.5 - 5.0, 2.0 + 2.0 - 6.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0]);
+        m.add_outer(&[1.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(m.row(0), &[2.0, 1.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = Matrix::xavier(10, 20, &mut rng);
+        let s = (6.0f32 / 30.0).sqrt();
+        assert!(m.data().iter().all(|&v| v.abs() <= s + 1e-6));
+        // Not all zero.
+        assert!(m.frobenius_sq() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn matvec_rejects_wrong_length() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row lengths")]
+    fn from_rows_rejects_ragged_input() {
+        Matrix::from_rows(&[&[1.0, 2.0], &[1.0]]);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut m = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        m.fill_zero();
+        assert_eq!(m.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,299 @@
+//! The assembled BRNN classifier: BiLSTM → dense → softmax.
+//!
+//! This is the architecture of the paper's barrier-effect-sensitive
+//! phoneme detector (Sec. V-B): a bidirectional LSTM (64 units per
+//! direction in the paper), a dense layer with one neuron per class, and
+//! softmax cross-entropy trained with ADAM.
+
+use crate::dense::Dense;
+use crate::loss;
+use crate::lstm::BiLstm;
+use crate::param::AdamConfig;
+use rand::Rng;
+
+/// Training hyper-parameters for [`BrnnClassifier::train_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrainConfig {
+    /// ADAM optimizer settings.
+    pub adam: AdamConfig,
+}
+
+/// Per-frame sequence classifier: BiLSTM followed by a dense softmax
+/// layer.
+#[derive(Debug, Clone)]
+pub struct BrnnClassifier {
+    rnn: BiLstm,
+    head: Dense,
+    step: u64,
+}
+
+impl BrnnClassifier {
+    /// Creates a classifier with `input_size` features per frame,
+    /// `hidden_size` LSTM units per direction and `n_classes` outputs.
+    pub fn new<R: Rng + ?Sized>(
+        input_size: usize,
+        hidden_size: usize,
+        n_classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        BrnnClassifier {
+            rnn: BiLstm::new(input_size, hidden_size, rng),
+            head: Dense::new(hidden_size, n_classes, rng),
+            step: 0,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.head.output_size()
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Per-frame logits for a sequence.
+    pub fn logits(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let (hs, _) = self.rnn.forward(xs);
+        self.head.forward(&hs).0
+    }
+
+    /// Per-frame class probabilities.
+    pub fn predict_proba(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.logits(xs)
+            .iter()
+            .map(|l| loss::softmax(l))
+            .collect()
+    }
+
+    /// Per-frame argmax class predictions.
+    pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+        self.logits(xs)
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// One optimizer step over a mini-batch of `(sequence, labels)`
+    /// pairs. Returns the mean loss over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sequence and its labels differ in length.
+    pub fn train_step(&mut self, batch: &[(&[Vec<f32>], &[usize])], cfg: &TrainConfig) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        for p in self.rnn.params_mut() {
+            p.zero_grad();
+        }
+        for p in self.head.params_mut() {
+            p.zero_grad();
+        }
+        let mut total = 0.0f32;
+        let scale = 1.0 / batch.len() as f32;
+        for (xs, ys) in batch {
+            assert_eq!(xs.len(), ys.len(), "sequence/label length mismatch");
+            if xs.is_empty() {
+                continue;
+            }
+            let (hs, rnn_cache) = self.rnn.forward(xs);
+            let (logits, head_cache) = self.head.forward(&hs);
+            let (l, mut dlogits) = loss::sequence_cross_entropy(&logits, ys);
+            total += l;
+            for frame in &mut dlogits {
+                for d in frame {
+                    *d *= scale;
+                }
+            }
+            let dhs = self.head.backward(&head_cache, &dlogits);
+            self.rnn.backward(&rnn_cache, &dhs);
+        }
+        self.step += 1;
+        let step = self.step;
+        for p in self.rnn.params_mut() {
+            p.adam_step(&cfg.adam, step);
+        }
+        for p in self.head.params_mut() {
+            p.adam_step(&cfg.adam, step);
+        }
+        total * scale
+    }
+
+    /// The eight parameter matrices in serialization order:
+    /// forward LSTM (W, U, b), backward LSTM (W, U, b), head (W, b).
+    pub(crate) fn parameter_matrices(&self) -> Vec<&crate::matrix::Matrix> {
+        vec![
+            &self.rnn.fwd.w.value,
+            &self.rnn.fwd.u.value,
+            &self.rnn.fwd.b.value,
+            &self.rnn.bwd.w.value,
+            &self.rnn.bwd.u.value,
+            &self.rnn.bwd.b.value,
+            &self.head.w.value,
+            &self.head.b.value,
+        ]
+    }
+
+    /// Rebuilds a classifier from matrices in serialization order.
+    pub(crate) fn from_parameter_matrices(
+        mats: Vec<crate::matrix::Matrix>,
+    ) -> Result<Self, String> {
+        let [fw, fu, fb, bw, bu, bb, hw, hb]: [crate::matrix::Matrix; 8] = mats
+            .try_into()
+            .map_err(|_| "expected exactly 8 matrices".to_string())?;
+        let fwd = crate::lstm::Lstm::from_weights(fw, fu, fb)?;
+        let bwd = crate::lstm::Lstm::from_weights(bw, bu, bb)?;
+        if fwd.hidden_size() != bwd.hidden_size() || fwd.input_size() != bwd.input_size() {
+            return Err("forward/backward direction shapes disagree".into());
+        }
+        let head = crate::dense::Dense::from_weights(hw, hb)?;
+        if head.input_size() != fwd.hidden_size() {
+            return Err("head input does not match hidden size".into());
+        }
+        Ok(BrnnClassifier {
+            rnn: crate::lstm::BiLstm { fwd, bwd },
+            head,
+            step: 0,
+        })
+    }
+
+    /// Frame-level accuracy over a labelled set of sequences.
+    pub fn accuracy(&self, data: &[(Vec<Vec<f32>>, Vec<usize>)]) -> f32 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (xs, ys) in data {
+            let preds = self.predict(xs);
+            correct += preds.iter().zip(ys).filter(|(p, y)| p == y).count();
+            total += ys.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Sequences where the label of each frame is decided by feature 0 of
+    /// that frame — learnable without temporal context.
+    fn framewise_dataset(n: usize, t_len: usize, seed: u64) -> Vec<(Vec<Vec<f32>>, Vec<usize>)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut xs = Vec::with_capacity(t_len);
+                let mut ys = Vec::with_capacity(t_len);
+                for _ in 0..t_len {
+                    let cls = rng.gen_bool(0.5) as usize;
+                    let base = if cls == 1 { 0.8 } else { -0.8 };
+                    xs.push(vec![
+                        base + rng.gen_range(-0.2..0.2),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ]);
+                    ys.push(cls);
+                }
+                (xs, ys)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_high_accuracy() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let mut model = BrnnClassifier::new(3, 8, 2, &mut rng);
+        let data = framewise_dataset(16, 10, 101);
+        let cfg = TrainConfig {
+            adam: crate::param::AdamConfig {
+                lr: 0.01,
+                ..Default::default()
+            },
+        };
+        let batch: Vec<(&[Vec<f32>], &[usize])> = data
+            .iter()
+            .map(|(x, y)| (x.as_slice(), y.as_slice()))
+            .collect();
+        let first = model.train_step(&batch, &cfg);
+        let mut last = first;
+        for _ in 0..80 {
+            last = model.train_step(&batch, &cfg);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+        let test = framewise_dataset(8, 10, 202);
+        assert!(model.accuracy(&test) > 0.9, "acc {}", model.accuracy(&test));
+    }
+
+    #[test]
+    fn learns_temporal_pattern_requiring_context() {
+        // Label of every frame = whether the *sequence* contains a spike
+        // anywhere; only a bidirectional/recurrent model can label early
+        // frames correctly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<(Vec<Vec<f32>>, Vec<usize>)> = Vec::new();
+        for i in 0..24 {
+            let spike = i % 2 == 0;
+            let t_len = 8;
+            let mut xs = vec![vec![0.0f32, 0.1]; t_len];
+            if spike {
+                xs[t_len - 2][0] = 1.0; // late spike
+            }
+            let ys = vec![spike as usize; t_len];
+            data.push((xs, ys));
+        }
+        let mut model = BrnnClassifier::new(2, 8, 2, &mut rng);
+        let cfg = TrainConfig {
+            adam: crate::param::AdamConfig {
+                lr: 0.02,
+                ..Default::default()
+            },
+        };
+        let batch: Vec<(&[Vec<f32>], &[usize])> = data
+            .iter()
+            .map(|(x, y)| (x.as_slice(), y.as_slice()))
+            .collect();
+        for _ in 0..150 {
+            model.train_step(&batch, &cfg);
+        }
+        // Accuracy must be high *including the early frames*, which
+        // requires propagating the late spike backwards.
+        assert!(model.accuracy(&data) > 0.95, "acc {}", model.accuracy(&data));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = BrnnClassifier::new(2, 4, 2, &mut rng);
+        assert_eq!(model.train_step(&[], &TrainConfig::default()), 0.0);
+        assert_eq!(model.steps_taken(), 0);
+    }
+
+    #[test]
+    fn predictions_have_sequence_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = BrnnClassifier::new(2, 4, 3, &mut rng);
+        let xs = vec![vec![0.0, 0.0]; 5];
+        assert_eq!(model.predict(&xs).len(), 5);
+        let probs = model.predict_proba(&xs);
+        assert!(probs.iter().all(|p| (p.iter().sum::<f32>() - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = BrnnClassifier::new(2, 4, 2, &mut rng);
+        assert_eq!(model.accuracy(&[]), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Binary serialization of trained models.
+//!
+//! A trained BRNN phoneme detector takes minutes to fit; deployments
+//! train once and ship the weights. The format is a simple
+//! little-endian container: magic, version, layer dimensions, then raw
+//! `f32` parameter data in a fixed order.
+
+use crate::matrix::Matrix;
+use crate::model::BrnnClassifier;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"TBNN";
+const VERSION: u32 = 1;
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a model file or has an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<io::Error> for SerializeError {
+    fn from(e: io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> io::Result<()> {
+    w.write_all(&(m.rows() as u32).to_le_bytes())?;
+    w.write_all(&(m.cols() as u32).to_le_bytes())?;
+    for &v in m.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix<R: Read>(r: &mut R) -> Result<Matrix, SerializeError> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    if rows.saturating_mul(cols) > 64 << 20 {
+        return Err(SerializeError::Format(format!(
+            "matrix {rows}x{cols} implausibly large"
+        )));
+    }
+    let mut m = Matrix::zeros(rows, cols);
+    let mut buf = [0u8; 4];
+    for i in 0..rows * cols {
+        r.read_exact(&mut buf)?;
+        m.data_mut()[i] = f32::from_le_bytes(buf);
+    }
+    Ok(m)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, SerializeError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+impl BrnnClassifier {
+    /// Serializes the model's weights (not the optimizer state) to a
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save<W: Write>(&self, mut w: W) -> Result<(), SerializeError> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        let params = self.parameter_matrices();
+        w.write_all(&(params.len() as u32).to_le_bytes())?;
+        for m in params {
+            write_matrix(&mut w, m)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a model previously written by [`BrnnClassifier::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a format error for wrong magic/version or mismatched
+    /// shapes, and propagates reader errors.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, SerializeError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerializeError::Format("bad magic".into()));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(SerializeError::Format(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let count = read_u32(&mut r)? as usize;
+        if count != 8 {
+            return Err(SerializeError::Format(format!(
+                "expected 8 parameter matrices, found {count}"
+            )));
+        }
+        let mats: Vec<Matrix> = (0..count)
+            .map(|_| read_matrix(&mut r))
+            .collect::<Result<_, _>>()?;
+        BrnnClassifier::from_parameter_matrices(mats)
+            .map_err(SerializeError::Format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = BrnnClassifier::new(4, 6, 2, &mut rng);
+        let xs: Vec<Vec<f32>> = (0..7)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f32 * 0.13).sin()).collect())
+            .collect();
+        let before = model.predict_proba(&xs);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        let back = BrnnClassifier::load(bytes.as_slice()).unwrap();
+        let after = back.predict_proba(&xs);
+        for (a, b) in before.iter().zip(&after) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(BrnnClassifier::load(&b"not a model"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        assert!(BrnnClassifier::load(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = BrnnClassifier::new(3, 4, 2, &mut rng);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(BrnnClassifier::load(bytes.as_slice()).is_err());
+    }
+}

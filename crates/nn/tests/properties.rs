@@ -1,0 +1,114 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thrubarrier_nn::loss;
+use thrubarrier_nn::lstm::{BiLstm, Lstm};
+use thrubarrier_nn::Matrix;
+
+fn sequence_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 3), 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lstm_hidden_states_are_bounded(xs in sequence_strategy(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let (hs, _) = lstm.forward(&xs);
+        prop_assert_eq!(hs.len(), xs.len());
+        for h in &hs {
+            for &v in h {
+                prop_assert!(v.abs() < 1.0, "hidden state {v} out of (-1, 1)");
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_forward_is_deterministic(xs in sequence_strategy(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let (a, _) = lstm.forward(&xs);
+        let (b, _) = lstm.forward(&xs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lstm_is_causal(xs in sequence_strategy(), seed in 0u64..50) {
+        // Changing the last frame must not affect earlier outputs.
+        if xs.len() < 2 {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let (a, _) = lstm.forward(&xs);
+        let mut ys = xs.clone();
+        let last = ys.len() - 1;
+        ys[last] = vec![0.9, -0.9, 0.9];
+        let (b, _) = lstm.forward(&ys);
+        for t in 0..last {
+            prop_assert_eq!(&a[t], &b[t], "output at {} changed", t);
+        }
+    }
+
+    #[test]
+    fn bilstm_reversal_symmetry(xs in sequence_strategy(), seed in 0u64..50) {
+        // Swapping the two directions' weights and reversing the input
+        // reverses the output sequence.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bi = BiLstm::new(3, 4, &mut rng);
+        let (out, _) = bi.forward(&xs);
+        let rev_in: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
+        let swapped = BiLstm {
+            fwd: bi.bwd.clone(),
+            bwd: bi.fwd.clone(),
+        };
+        let (rev_out, _) = swapped.forward(&rev_in);
+        for (a, b) in out.iter().zip(rev_out.iter().rev()) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(logits in prop::collection::vec(-20.0f32..20.0, 1..10)) {
+        let p = loss::softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(
+        logits in prop::collection::vec(-10.0f32..10.0, 2..6),
+        target_raw in 0usize..6,
+    ) {
+        let target = target_raw % logits.len();
+        let (l, dl) = loss::softmax_cross_entropy(&logits, target);
+        prop_assert!(l >= 0.0);
+        // Gradient components sum to ~0 (softmax minus one-hot).
+        prop_assert!(dl.iter().sum::<f32>().abs() < 1e-4);
+    }
+
+    #[test]
+    fn matvec_distributes_over_addition(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..50,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::xavier(rows, cols, &mut rng);
+        let x: Vec<f32> = (0..cols).map(|i| i as f32 * 0.3 - 0.5).collect();
+        let y: Vec<f32> = (0..cols).map(|i| 0.7 - i as f32 * 0.2).collect();
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = m.matvec(&sum);
+        let mx = m.matvec(&x);
+        let my = m.matvec(&y);
+        for (l, (a, b)) in lhs.iter().zip(mx.iter().zip(&my)) {
+            prop_assert!((l - (a + b)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! A bank of phonetically transcribed voice-assistant commands.
+//!
+//! The paper collects 20 voice commands per participant; the commands
+//! here are typical smart-home/assistant phrases (drawn from the same
+//! public command lists the paper cites) with hand-written ARPAbet
+//! transcriptions restricted to the Table II common phonemes.
+
+use crate::inventory::{Inventory, PhonemeId};
+
+/// A voice command: display text plus its phonetic transcription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    text: &'static str,
+    phonemes: Vec<&'static str>,
+}
+
+impl Command {
+    /// The command's display text.
+    pub fn text(&self) -> &'static str {
+        self.text
+    }
+
+    /// The transcription as ARPAbet symbols.
+    pub fn phoneme_symbols(&self) -> &[&'static str] {
+        &self.phonemes
+    }
+
+    /// The transcription resolved to inventory ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transcription symbol is missing from the inventory (a
+    /// programming error caught by tests).
+    pub fn phoneme_ids(&self) -> Vec<PhonemeId> {
+        self.phonemes
+            .iter()
+            .map(|s| {
+                Inventory::by_symbol(s)
+                    .unwrap_or_else(|| panic!("unknown phoneme {s} in command {:?}", self.text))
+            })
+            .collect()
+    }
+}
+
+/// The standard command bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandBank {
+    commands: Vec<Command>,
+}
+
+macro_rules! cmd {
+    ($text:literal, [$($p:literal),* $(,)?]) => {
+        Command { text: $text, phonemes: vec![$($p),*] }
+    };
+}
+
+impl CommandBank {
+    /// Builds the standard 25-command bank.
+    pub fn standard() -> Self {
+        let commands = vec![
+            cmd!("alexa", ["ah", "l", "ae", "k", "s", "ah"]),
+            cmd!("ok google", ["ow", "k", "ey", "g", "uw", "g", "ah", "l"]),
+            cmd!("hey siri", ["hh", "ey", "s", "ih", "r", "iy"]),
+            cmd!("turn on the lights", ["t", "er", "n", "aa", "n", "dh", "ah", "l", "ay", "t", "s"]),
+            cmd!("what's the weather", ["w", "ah", "t", "s", "dh", "ah", "w", "ae", "dh", "er"]),
+            cmd!("unlock the door", ["ah", "n", "l", "aa", "k", "dh", "ah", "d", "ao", "r"]),
+            cmd!("play music", ["p", "l", "ey", "m", "y", "uw", "z", "ih", "k"]),
+            cmd!("set an alarm", ["s", "ae", "t", "ae", "n", "ah", "l", "aa", "r", "m"]),
+            cmd!("stop", ["s", "t", "aa", "p"]),
+            cmd!("turn off the tv", ["t", "er", "n", "ao", "f", "dh", "ah", "t", "iy", "v", "iy"]),
+            cmd!("open the garage", ["ow", "p", "ah", "n", "dh", "ah", "g", "er", "aa", "zh"]),
+            cmd!("what time is it", ["w", "ah", "t", "t", "ay", "m", "ih", "z", "ih", "t"]),
+            cmd!("call mom", ["k", "ao", "l", "m", "aa", "m"]),
+            cmd!("add milk to my list", ["ae", "d", "m", "ih", "l", "k", "t", "uw", "m", "ay", "l", "ih", "s", "t"]),
+            cmd!("lock the front door", ["l", "aa", "k", "dh", "ah", "f", "r", "ah", "n", "t", "d", "ao", "r"]),
+            cmd!("turn up the volume", ["t", "er", "n", "ah", "p", "dh", "ah", "v", "aa", "l", "y", "uw", "m"]),
+            cmd!("good morning", ["g", "uh", "d", "m", "ao", "r", "n", "ih", "ng"]),
+            cmd!("set a timer", ["s", "ae", "t", "ah", "t", "ay", "m", "er"]),
+            cmd!("how far is the moon", ["hh", "aw", "f", "aa", "r", "ih", "z", "dh", "ah", "m", "uw", "n"]),
+            cmd!("dim the lights", ["d", "ih", "m", "dh", "ah", "l", "ay", "t", "s"]),
+            cmd!("increase the temperature", ["ih", "n", "k", "r", "iy", "s", "dh", "ah", "t", "ae", "m", "p", "er", "ah", "ch", "er"]),
+            cmd!("read my messages", ["r", "iy", "d", "m", "ay", "m", "ae", "s", "ah", "jh", "ah", "z"]),
+            cmd!("send a text", ["s", "ae", "n", "d", "ah", "t", "ae", "k", "s", "t"]),
+            cmd!("what's on my calendar", ["w", "ah", "t", "s", "aa", "n", "m", "ay", "k", "ae", "l", "ah", "n", "d", "er"]),
+            cmd!("disarm the security system", ["d", "ih", "s", "aa", "r", "m", "dh", "ah", "s", "ah", "k", "y", "uh", "r", "ah", "t", "iy", "s", "ih", "s", "t", "ah", "m"]),
+        ];
+        CommandBank { commands }
+    }
+
+    /// All commands.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the bank is empty (never true for [`CommandBank::standard`]).
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Looks up a command by its text.
+    pub fn by_text(&self, text: &str) -> Option<&Command> {
+        self.commands.iter().find(|c| c.text == text)
+    }
+
+    /// The wake words used by the Table I attack study.
+    pub fn wake_words(&self) -> Vec<&Command> {
+        ["alexa", "ok google", "hey siri"]
+            .iter()
+            .filter_map(|t| self.by_text(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::TABLE_II;
+    use std::collections::HashSet;
+
+    #[test]
+    fn bank_has_25_commands() {
+        assert_eq!(CommandBank::standard().len(), 25);
+    }
+
+    #[test]
+    fn all_transcriptions_resolve() {
+        for c in CommandBank::standard().commands() {
+            let ids = c.phoneme_ids();
+            assert_eq!(ids.len(), c.phoneme_symbols().len());
+            assert!(!ids.is_empty());
+        }
+    }
+
+    #[test]
+    fn transcriptions_use_only_common_phonemes() {
+        let common: HashSet<&str> = TABLE_II.iter().map(|&(s, _)| s).collect();
+        for c in CommandBank::standard().commands() {
+            for s in c.phoneme_symbols() {
+                assert!(common.contains(s), "{s} in {:?} is not a Table II phoneme", c.text());
+            }
+        }
+    }
+
+    #[test]
+    fn wake_words_present() {
+        let bank = CommandBank::standard();
+        assert_eq!(bank.wake_words().len(), 3);
+    }
+
+    #[test]
+    fn most_common_phonemes_dominate_usage() {
+        // Sanity: /t/ (count 129 in Table II) should be among the most
+        // frequent symbols in the bank.
+        let bank = CommandBank::standard();
+        let mut freq = std::collections::HashMap::new();
+        for c in bank.commands() {
+            for s in c.phoneme_symbols() {
+                *freq.entry(*s).or_insert(0u32) += 1;
+            }
+        }
+        let t_count = freq["t"];
+        let above_t = freq.values().filter(|&&v| v > t_count).count();
+        assert!(above_t <= 2, "t should rank near the top, {above_t} above it");
+    }
+
+    #[test]
+    fn by_text_finds_and_misses() {
+        let bank = CommandBank::standard();
+        assert!(bank.by_text("stop").is_some());
+        assert!(bank.by_text("no such command").is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! The 37 common voice-command phonemes of paper Table II.
+//!
+//! The paper screens the 63 TIMIT phonemes down to 37 that frequently
+//! appear in voice-assistant commands, listing each with its appearance
+//! count. The printed table contains `ch` twice (69 and 13); we keep the
+//! first occurrence as `ch` and read the second as `zh` — the only common
+//! fricative otherwise missing (documented in DESIGN.md).
+
+use crate::inventory::{Inventory, PhonemeId};
+
+/// A common phoneme together with its appearance count in the paper's
+/// voice-command survey (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonPhoneme {
+    /// Phoneme id into [`Inventory::all`].
+    pub id: PhonemeId,
+    /// ARPAbet symbol.
+    pub symbol: &'static str,
+    /// Number of appearances reported in Table II.
+    pub count: u32,
+}
+
+/// Table II contents: `(symbol, count)` in the paper's order.
+pub const TABLE_II: &[(&str, u32)] = &[
+    ("t", 129),
+    ("n", 108),
+    ("ah", 107),
+    ("s", 101),
+    ("r", 100),
+    ("ih", 99),
+    ("d", 83),
+    ("l", 70),
+    ("k", 70),
+    ("ch", 69),
+    ("iy", 65),
+    ("m", 65),
+    ("er", 58),
+    ("z", 49),
+    ("w", 40),
+    ("ae", 39),
+    ("ey", 38),
+    ("p", 37),
+    ("ay", 36),
+    ("aa", 32),
+    ("uw", 31),
+    ("b", 31),
+    ("ao", 29),
+    ("f", 29),
+    ("v", 28),
+    ("hh", 20),
+    ("ng", 17),
+    ("ow", 17),
+    ("y", 15),
+    ("aw", 15),
+    ("jh", 14),
+    ("g", 13),
+    ("zh", 13), // printed as a second "ch" in the paper; see module docs
+    ("dh", 12),
+    ("th", 10),
+    ("sh", 8),
+    ("uh", 6),
+];
+
+/// Returns the 37 common phonemes with resolved inventory ids.
+///
+/// # Panics
+///
+/// Panics if the static table references a symbol missing from the
+/// inventory (a programming error caught by tests).
+pub fn common_phonemes() -> Vec<CommonPhoneme> {
+    TABLE_II
+        .iter()
+        .map(|&(symbol, count)| CommonPhoneme {
+            id: Inventory::by_symbol(symbol)
+                .unwrap_or_else(|| panic!("common phoneme {symbol} missing from inventory")),
+            symbol,
+            count,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_37_common_phonemes() {
+        assert_eq!(common_phonemes().len(), 37);
+    }
+
+    #[test]
+    fn counts_match_paper_ordering() {
+        let c = common_phonemes();
+        assert_eq!(c[0].symbol, "t");
+        assert_eq!(c[0].count, 129);
+        assert_eq!(c[36].symbol, "uh");
+        assert_eq!(c[36].count, 6);
+        // Counts are non-increasing in the paper's order.
+        for w in c.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn all_symbols_resolve_to_inventory() {
+        for c in common_phonemes() {
+            assert_eq!(Inventory::spec(c.id).symbol, c.symbol);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_symbols() {
+        let mut seen = std::collections::HashSet::new();
+        for c in common_phonemes() {
+            assert!(seen.insert(c.symbol), "duplicate {}", c.symbol);
+        }
+    }
+}

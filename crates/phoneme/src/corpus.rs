@@ -1,0 +1,224 @@
+//! Labelled corpus generation — the TIMIT-substitute datasets.
+//!
+//! The paper trains its BRNN on TIMIT's time-aligned transcriptions and
+//! evaluates phoneme selection on "100 sound segments from five males and
+//! five females for each phoneme". This module reproduces both dataset
+//! shapes from the synthesizer.
+
+use crate::command::CommandBank;
+use crate::inventory::PhonemeId;
+use crate::speaker::{Sex, SpeakerProfile};
+use crate::synth::{Synthesizer, Utterance};
+use rand::Rng;
+
+/// Draws a panel of speakers — the paper's default is 5 males and 5
+/// females.
+pub fn speaker_panel<R: Rng + ?Sized>(
+    n_male: usize,
+    n_female: usize,
+    rng: &mut R,
+) -> Vec<SpeakerProfile> {
+    let mut out = Vec::with_capacity(n_male + n_female);
+    for _ in 0..n_male {
+        out.push(SpeakerProfile::random_with_sex(Sex::Male, rng));
+    }
+    for _ in 0..n_female {
+        out.push(SpeakerProfile::random_with_sex(Sex::Female, rng));
+    }
+    out
+}
+
+/// Synthesizes `n` independent sound segments of one phoneme, cycling
+/// through the speaker panel (paper Sec. III-B / V-A setup).
+pub fn phoneme_samples<R: Rng + ?Sized>(
+    synth: &Synthesizer,
+    id: PhonemeId,
+    n: usize,
+    speakers: &[SpeakerProfile],
+    rng: &mut R,
+) -> Vec<Vec<f32>> {
+    assert!(!speakers.is_empty(), "need at least one speaker");
+    (0..n)
+        .map(|i| synth.synthesize_phoneme(id, &speakers[i % speakers.len()], rng))
+        .collect()
+}
+
+/// Draws a random phoneme sequence weighted by the Table II appearance
+/// counts — a synthetic "voice-command-like" utterance for training.
+pub fn random_common_sequence<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<PhonemeId> {
+    let common = crate::common::common_phonemes();
+    let total: u32 = common.iter().map(|c| c.count).sum();
+    (0..len)
+        .map(|_| {
+            let mut pick = rng.gen_range(0..total);
+            for c in &common {
+                if pick < c.count {
+                    return c.id;
+                }
+                pick -= c.count;
+            }
+            common[0].id
+        })
+        .collect()
+}
+
+/// A labelled utterance: audio plus aligned segments, ready for frame
+/// labelling.
+#[derive(Debug, Clone)]
+pub struct LabelledUtterance {
+    /// The synthesized utterance.
+    pub utterance: Utterance,
+    /// Speaker used (for speaker-dependent experiments).
+    pub speaker: SpeakerProfile,
+}
+
+/// Generates a training corpus of utterances: a mix of real command-bank
+/// phrases and random common-phoneme sequences, across a speaker panel.
+pub fn training_corpus<R: Rng + ?Sized>(
+    synth: &Synthesizer,
+    n_utterances: usize,
+    speakers: &[SpeakerProfile],
+    rng: &mut R,
+) -> Vec<LabelledUtterance> {
+    assert!(!speakers.is_empty(), "need at least one speaker");
+    let bank = CommandBank::standard();
+    (0..n_utterances)
+        .map(|i| {
+            let speaker = speakers[i % speakers.len()].clone();
+            let utterance = if rng.gen_bool(0.5) {
+                let cmd = &bank.commands()[rng.gen_range(0..bank.len())];
+                synth.synthesize_command(cmd, &speaker, rng)
+            } else {
+                let len = rng.gen_range(5..14);
+                let seq = random_common_sequence(len, rng);
+                synth.synthesize_sequence(&seq, &speaker, rng)
+            };
+            LabelledUtterance { utterance, speaker }
+        })
+        .collect()
+}
+
+/// Assigns one label per analysis frame by majority overlap with the
+/// utterance's phoneme segments.
+///
+/// `classify` maps a phoneme to its class label; frames that overlap no
+/// segment (leading/trailing silence) get `default_label`.
+pub fn frame_labels<F>(
+    utterance: &Utterance,
+    frame_len: usize,
+    hop: usize,
+    default_label: usize,
+    classify: F,
+) -> Vec<usize>
+where
+    F: Fn(PhonemeId) -> usize,
+{
+    let n = utterance.audio.len();
+    if n == 0 || frame_len == 0 || hop == 0 {
+        return Vec::new();
+    }
+    let n_frames = if n < frame_len {
+        1
+    } else {
+        (n - frame_len) / hop + 1
+    };
+    (0..n_frames)
+        .map(|fi| {
+            let start = fi * hop;
+            let end = (start + frame_len).min(n);
+            // Find the segment with the largest overlap.
+            let mut best_overlap = 0usize;
+            let mut label = default_label;
+            for seg in &utterance.segments {
+                let lo = seg.start.max(start);
+                let hi = seg.end.min(end);
+                let overlap = hi.saturating_sub(lo);
+                if overlap > best_overlap {
+                    best_overlap = overlap;
+                    label = classify(seg.phoneme);
+                }
+            }
+            label
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::Inventory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn speaker_panel_composition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let panel = speaker_panel(5, 5, &mut rng);
+        assert_eq!(panel.len(), 10);
+        assert_eq!(panel.iter().filter(|s| s.sex == Sex::Male).count(), 5);
+    }
+
+    #[test]
+    fn phoneme_samples_count_and_variation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let panel = speaker_panel(2, 2, &mut rng);
+        let synth = Synthesizer::new(16_000);
+        let id = Inventory::by_symbol("ae").unwrap();
+        let samples = phoneme_samples(&synth, id, 8, &panel, &mut rng);
+        assert_eq!(samples.len(), 8);
+        // Samples must differ (duration and excitation are random).
+        assert_ne!(samples[0], samples[4]);
+    }
+
+    #[test]
+    fn random_sequences_favor_frequent_phonemes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq = random_common_sequence(3_000, &mut rng);
+        let t = Inventory::by_symbol("t").unwrap();
+        let uh = Inventory::by_symbol("uh").unwrap();
+        let t_count = seq.iter().filter(|&&p| p == t).count();
+        let uh_count = seq.iter().filter(|&&p| p == uh).count();
+        // Table II: t appears 129 times vs uh 6 — ratio ~21x; allow slack.
+        assert!(t_count > uh_count * 5, "t {t_count} vs uh {uh_count}");
+    }
+
+    #[test]
+    fn training_corpus_generates_requested_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let panel = speaker_panel(1, 1, &mut rng);
+        let synth = Synthesizer::new(16_000);
+        let corpus = training_corpus(&synth, 4, &panel, &mut rng);
+        assert_eq!(corpus.len(), 4);
+        for u in &corpus {
+            assert!(!u.utterance.segments.is_empty());
+        }
+    }
+
+    #[test]
+    fn frame_labels_align_with_segments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let synth = Synthesizer::new(16_000);
+        let speaker = SpeakerProfile::reference_male();
+        let aa = Inventory::by_symbol("aa").unwrap();
+        let s = Inventory::by_symbol("s").unwrap();
+        let utt = synth.synthesize_sequence(&[aa, s], &speaker, &mut rng);
+        let labels = frame_labels(&utt, 400, 160, 9, |p| if p == aa { 1 } else { 0 });
+        // Leading silence frames carry the default label.
+        assert_eq!(labels[0], 9);
+        // Both classes appear.
+        assert!(labels.contains(&1));
+        assert!(labels.contains(&0));
+        // Label count matches the MFCC frame count for the same config.
+        let mfcc = thrubarrier_dsp::mel::MfccExtractor::paper_default();
+        assert_eq!(labels.len(), mfcc.frame_count(utt.audio.len()));
+    }
+
+    #[test]
+    fn frame_labels_empty_utterance() {
+        let utt = Utterance {
+            audio: thrubarrier_dsp::AudioBuffer::empty(16_000),
+            segments: Vec::new(),
+        };
+        assert!(frame_labels(&utt, 400, 160, 0, |_| 1).is_empty());
+    }
+}

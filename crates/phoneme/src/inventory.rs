@@ -1,0 +1,282 @@
+//! The 63-phoneme inventory (TIMIT-style ARPAbet symbols).
+//!
+//! Formant targets follow the classic Peterson–Barney measurements for a
+//! reference adult male vocal tract; obstruents carry a frication band
+//! instead. `intensity_db` is the phoneme's intrinsic level relative to a
+//! reference vowel — the property behind both of the paper's selection
+//! criteria (weak fricatives like /s/, /z/ cannot trigger the
+//! accelerometer at all; over-loud back vowels like /aa/, /ao/ still
+//! trigger it *through* a barrier).
+
+/// Broad articulatory class of a phoneme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhonemeClass {
+    /// Monophthong or diphthong vowel.
+    Vowel,
+    /// Glide / liquid / aspirate (l, r, w, y, hh, …).
+    Semivowel,
+    /// Nasal consonant.
+    Nasal,
+    /// Plosive (burst) consonant.
+    Stop,
+    /// Fricative consonant.
+    Fricative,
+    /// Affricate consonant.
+    Affricate,
+    /// Stop closure interval or silence marker.
+    Silence,
+}
+
+/// Index of a phoneme in [`Inventory::all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhonemeId(pub usize);
+
+/// Static description of one phoneme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhonemeSpec {
+    /// ARPAbet-style symbol, e.g. `"ae"`.
+    pub symbol: &'static str,
+    /// Broad articulatory class.
+    pub class: PhonemeClass,
+    /// Whether the larynx vibrates (periodic excitation).
+    pub voiced: bool,
+    /// Formant targets `[F1, F2, F3]` in Hz (sonorants). Obstruents keep
+    /// nominal values for completeness but are synthesized from
+    /// `noise_band`.
+    pub formants: [f32; 3],
+    /// Frication band `(low, high)` in Hz for obstruents.
+    pub noise_band: Option<(f32, f32)>,
+    /// Intrinsic intensity in dB relative to a reference vowel.
+    pub intensity_db: f32,
+    /// Typical duration range `(min, max)` in milliseconds.
+    pub duration_ms: (f32, f32),
+}
+
+macro_rules! ph {
+    ($sym:literal, $class:ident, $voiced:literal, [$f1:expr, $f2:expr, $f3:expr],
+     $noise:expr, $int:expr, ($dmin:expr, $dmax:expr)) => {
+        PhonemeSpec {
+            symbol: $sym,
+            class: PhonemeClass::$class,
+            voiced: $voiced,
+            formants: [$f1 as f32, $f2 as f32, $f3 as f32],
+            noise_band: $noise,
+            intensity_db: $int as f32,
+            duration_ms: ($dmin as f32, $dmax as f32),
+        }
+    };
+}
+
+/// The full 63-phoneme inventory.
+///
+/// 61 entries mirror the TIMIT phone set; `sil` and `spn` (generic
+/// silence and spoken-noise markers) bring the total to the 63 phonemes
+/// the paper cites.
+static INVENTORY: &[PhonemeSpec] = &[
+    // --- Vowels (20) -----------------------------------------------------
+    ph!("iy", Vowel, true, [270, 2290, 3010], None, 0.0, (80, 180)),
+    ph!("ih", Vowel, true, [390, 1990, 2550], None, 0.0, (60, 140)),
+    ph!("eh", Vowel, true, [530, 1840, 2480], None, 1.0, (70, 160)),
+    ph!("ey", Vowel, true, [480, 2000, 2600], None, 0.0, (90, 200)),
+    ph!("ae", Vowel, true, [660, 1720, 2410], None, 1.5, (90, 220)),
+    ph!("aa", Vowel, true, [730, 1090, 2440], None, 13.0, (90, 220)),
+    ph!("aw", Vowel, true, [670, 1200, 2400], None, 1.5, (120, 250)),
+    ph!("ay", Vowel, true, [660, 1400, 2500], None, 2.0, (120, 250)),
+    ph!("ah", Vowel, true, [640, 1190, 2390], None, 1.0, (50, 130)),
+    ph!("ao", Vowel, true, [570, 840, 2410], None, 13.0, (90, 220)),
+    ph!("oy", Vowel, true, [500, 1100, 2400], None, 2.0, (130, 260)),
+    ph!("ow", Vowel, true, [450, 1000, 2300], None, 0.0, (100, 220)),
+    ph!("uh", Vowel, true, [440, 1020, 2240], None, 0.0, (60, 140)),
+    ph!("uw", Vowel, true, [300, 870, 2240], None, 0.5, (80, 180)),
+    ph!("ux", Vowel, true, [330, 1700, 2300], None, 0.0, (80, 170)),
+    ph!("er", Vowel, true, [490, 1350, 1690], None, 0.5, (80, 190)),
+    ph!("ax", Vowel, true, [500, 1500, 2500], None, -2.0, (40, 100)),
+    ph!("ix", Vowel, true, [400, 1900, 2500], None, -2.0, (40, 100)),
+    ph!("axr", Vowel, true, [470, 1400, 1700], None, -1.0, (60, 140)),
+    ph!("ax-h", Vowel, false, [500, 1500, 2500], None, -8.0, (30, 80)),
+    // --- Semivowels / glides / aspirates (7) -----------------------------
+    ph!("l", Semivowel, true, [360, 1300, 2700], None, -3.0, (50, 130)),
+    ph!("r", Semivowel, true, [330, 1060, 1380], None, -3.0, (50, 130)),
+    ph!("w", Semivowel, true, [300, 610, 2200], None, -3.0, (50, 120)),
+    ph!("y", Semivowel, true, [270, 2100, 3000], None, -2.0, (40, 110)),
+    ph!("hh", Semivowel, false, [500, 1500, 2500], Some((400.0, 3_000.0)), -5.0, (40, 110)),
+    ph!("hv", Semivowel, true, [500, 1500, 2500], Some((400.0, 3_000.0)), -5.0, (40, 110)),
+    ph!("el", Semivowel, true, [400, 1200, 2700], None, -4.0, (60, 150)),
+    // --- Nasals (7) -------------------------------------------------------
+    ph!("m", Nasal, true, [280, 900, 2200], None, -2.0, (50, 130)),
+    ph!("n", Nasal, true, [280, 1700, 2600], None, -2.0, (50, 130)),
+    ph!("ng", Nasal, true, [280, 2300, 2750], None, -2.0, (60, 140)),
+    ph!("em", Nasal, true, [280, 900, 2200], None, -4.0, (60, 150)),
+    ph!("en", Nasal, true, [280, 1700, 2600], None, -4.0, (60, 150)),
+    ph!("eng", Nasal, true, [280, 2300, 2750], None, -4.0, (60, 150)),
+    ph!("nx", Nasal, true, [280, 1700, 2600], None, -5.0, (30, 80)),
+    // --- Stops (8) ----------------------------------------------------------
+    ph!("b", Stop, true, [400, 1100, 2300], Some((200.0, 2_400.0)), -4.0, (20, 70)),
+    ph!("d", Stop, true, [400, 1700, 2600], Some((1_000.0, 3_500.0)), -3.0, (20, 70)),
+    ph!("g", Stop, true, [300, 1800, 2500], Some((800.0, 3_000.0)), -3.0, (25, 80)),
+    ph!("p", Stop, false, [400, 1100, 2300], Some((400.0, 2_200.0)), -5.0, (25, 90)),
+    ph!("t", Stop, false, [400, 1700, 2600], Some((2_000.0, 6_000.0)), -2.0, (25, 90)),
+    ph!("k", Stop, false, [300, 1800, 2500], Some((1_200.0, 4_200.0)), -4.0, (30, 95)),
+    ph!("dx", Stop, true, [400, 1700, 2600], Some((1_000.0, 3_000.0)), -8.0, (15, 40)),
+    ph!("q", Stop, false, [400, 1200, 2400], Some((100.0, 600.0)), -14.0, (15, 50)),
+    // --- Stop closures & pauses (7) --------------------------------------
+    ph!("bcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
+    ph!("dcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
+    ph!("gcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
+    ph!("pcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
+    ph!("tcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
+    ph!("kcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
+    ph!("epi", Silence, false, [0, 0, 0], None, -60.0, (20, 70)),
+    // --- Affricates (2) ----------------------------------------------------
+    ph!("jh", Affricate, true, [300, 1800, 2500], Some((1_500.0, 5_000.0)), -6.0, (50, 130)),
+    ph!("ch", Affricate, false, [300, 1800, 2500], Some((2_000.0, 5_500.0)), -6.0, (60, 140)),
+    // --- Fricatives (8) ----------------------------------------------------
+    ph!("s", Fricative, false, [300, 1700, 2600], Some((3_500.0, 7_500.0)), -20.0, (70, 170)),
+    ph!("sh", Fricative, false, [300, 1800, 2500], Some((2_000.0, 6_000.0)), -22.0, (70, 170)),
+    ph!("z", Fricative, true, [300, 1700, 2600], Some((3_000.0, 7_000.0)), -20.0, (60, 150)),
+    ph!("zh", Fricative, true, [300, 1800, 2500], Some((2_000.0, 5_500.0)), -10.0, (60, 150)),
+    ph!("f", Fricative, false, [400, 1100, 2300], Some((1_500.0, 7_000.0)), -10.0, (70, 160)),
+    ph!("th", Fricative, false, [400, 1400, 2500], Some((1_400.0, 7_000.0)), -22.0, (60, 150)),
+    ph!("v", Fricative, true, [400, 1100, 2300], Some((500.0, 4_000.0)), -7.0, (40, 110)),
+    ph!("dh", Fricative, true, [400, 1400, 2500], Some((500.0, 4_000.0)), -6.0, (30, 90)),
+    // --- Non-speech markers (4) -------------------------------------------
+    ph!("pau", Silence, false, [0, 0, 0], None, -60.0, (50, 300)),
+    ph!("h#", Silence, false, [0, 0, 0], None, -60.0, (50, 300)),
+    ph!("sil", Silence, false, [0, 0, 0], None, -60.0, (50, 300)),
+    ph!("spn", Silence, false, [0, 0, 0], Some((100.0, 4_000.0)), -30.0, (50, 300)),
+];
+
+/// Access to the phoneme inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Inventory;
+
+impl Inventory {
+    /// All 63 phonemes.
+    pub fn all() -> &'static [PhonemeSpec] {
+        INVENTORY
+    }
+
+    /// Total number of phonemes (63).
+    pub fn len() -> usize {
+        INVENTORY.len()
+    }
+
+    /// The spec for a phoneme id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn spec(id: PhonemeId) -> &'static PhonemeSpec {
+        &INVENTORY[id.0]
+    }
+
+    /// Looks a phoneme up by its symbol.
+    pub fn by_symbol(symbol: &str) -> Option<PhonemeId> {
+        INVENTORY
+            .iter()
+            .position(|p| p.symbol == symbol)
+            .map(PhonemeId)
+    }
+
+    /// Ids of all phonemes that produce audible sound (everything except
+    /// the [`PhonemeClass::Silence`] markers).
+    pub fn audible() -> Vec<PhonemeId> {
+        INVENTORY
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.class != PhonemeClass::Silence)
+            .map(|(i, _)| PhonemeId(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_has_63_phonemes() {
+        assert_eq!(Inventory::len(), 63);
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Inventory::all() {
+            assert!(seen.insert(p.symbol), "duplicate symbol {}", p.symbol);
+        }
+    }
+
+    #[test]
+    fn lookup_by_symbol_roundtrips() {
+        for (i, p) in Inventory::all().iter().enumerate() {
+            assert_eq!(Inventory::by_symbol(p.symbol), Some(PhonemeId(i)));
+        }
+        assert_eq!(Inventory::by_symbol("nonexistent"), None);
+    }
+
+    #[test]
+    fn vowels_are_voiced_with_rising_formants() {
+        for p in Inventory::all() {
+            if p.class == PhonemeClass::Vowel && p.symbol != "ax-h" {
+                assert!(p.voiced, "{} should be voiced", p.symbol);
+                assert!(
+                    p.formants[0] < p.formants[1] && p.formants[1] < p.formants[2],
+                    "{} formants must ascend",
+                    p.symbol
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weak_fricatives_are_quieter_than_vowels() {
+        let s = Inventory::spec(Inventory::by_symbol("s").unwrap());
+        let z = Inventory::spec(Inventory::by_symbol("z").unwrap());
+        let ae = Inventory::spec(Inventory::by_symbol("ae").unwrap());
+        assert!(s.intensity_db < ae.intensity_db - 10.0);
+        assert!(z.intensity_db < ae.intensity_db - 10.0);
+    }
+
+    #[test]
+    fn back_vowels_are_loudest() {
+        // /aa/ and /ao/ are pronounced with strong larynx vibration
+        // (paper Sec. V-A) — they must carry the highest intensity.
+        let max_other = Inventory::all()
+            .iter()
+            .filter(|p| p.symbol != "aa" && p.symbol != "ao")
+            .map(|p| p.intensity_db)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let aa = Inventory::spec(Inventory::by_symbol("aa").unwrap());
+        let ao = Inventory::spec(Inventory::by_symbol("ao").unwrap());
+        assert!(aa.intensity_db > max_other);
+        assert!(ao.intensity_db > max_other);
+    }
+
+    #[test]
+    fn obstruents_have_noise_bands() {
+        for p in Inventory::all() {
+            if matches!(p.class, PhonemeClass::Fricative | PhonemeClass::Affricate | PhonemeClass::Stop) {
+                let (lo, hi) = p.noise_band.expect("obstruent needs a noise band");
+                assert!(lo < hi, "{}", p.symbol);
+                assert!(hi <= 8_000.0, "{} band above Nyquist", p.symbol);
+            }
+        }
+    }
+
+    #[test]
+    fn audible_excludes_silences() {
+        let audible = Inventory::audible();
+        assert!(audible.len() < Inventory::len());
+        for id in audible {
+            assert_ne!(Inventory::spec(id).class, PhonemeClass::Silence);
+        }
+    }
+
+    #[test]
+    fn durations_are_positive_ranges() {
+        for p in Inventory::all() {
+            assert!(p.duration_ms.0 > 0.0 && p.duration_ms.0 <= p.duration_ms.1, "{}", p.symbol);
+        }
+    }
+}

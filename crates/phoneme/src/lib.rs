@@ -1,0 +1,58 @@
+//! Phoneme-level speech synthesis substrate — the workspace's TIMIT
+//! substitute.
+//!
+//! The paper trains and evaluates on the TIMIT acoustic-phonetic corpus
+//! (63 phonemes, time-aligned transcriptions, 630 speakers) and on live
+//! voice commands from 20 participants. Neither resource is available to
+//! a pure-software reproduction, so this crate synthesizes speech from
+//! first principles with a classic **source–filter formant synthesizer**:
+//!
+//! * [`inventory`] — a 63-entry phoneme inventory with articulatory
+//!   class, voicing, formant targets, noise bands, intrinsic intensity
+//!   and duration ranges,
+//! * [`common`] — the 37 common voice-command phonemes of paper Table II
+//!   with their appearance counts,
+//! * [`speaker`] — per-speaker parameters (sex, F0, vocal-tract scale,
+//!   vocal effort) drawn reproducibly from an RNG,
+//! * [`synth`] — glottal-pulse / noise excitation shaped by resonator
+//!   cascades, producing phoneme sounds and whole utterances with
+//!   **time-aligned phoneme segments**,
+//! * [`command`] — a bank of phonetically transcribed voice-assistant
+//!   commands ("turn on the lights", "unlock the door", …),
+//! * [`corpus`] — labelled corpus generation for training the BRNN
+//!   phoneme detector exactly as the paper does with TIMIT.
+//!
+//! The synthesizer is *not* meant to sound natural; it is meant to get
+//! the **coarse spectral physics right** — which phonemes are voiced,
+//! where their energy sits in frequency, and how loud they intrinsically
+//! are — because those are the only properties the thru-barrier defense
+//! depends on.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use thrubarrier_phoneme::{command::CommandBank, speaker::SpeakerProfile, synth::Synthesizer};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let speaker = SpeakerProfile::random(&mut rng);
+//! let bank = CommandBank::standard();
+//! let synth = Synthesizer::new(16_000);
+//! let utterance = synth.synthesize_command(&bank.commands()[0], &speaker, &mut rng);
+//! assert!(utterance.audio.duration() > 0.3);
+//! assert!(!utterance.segments.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod common;
+pub mod corpus;
+pub mod inventory;
+pub mod speaker;
+pub mod synth;
+
+pub use command::{Command, CommandBank};
+pub use inventory::{Inventory, PhonemeClass, PhonemeId, PhonemeSpec};
+pub use speaker::SpeakerProfile;
+pub use synth::{Synthesizer, Utterance};

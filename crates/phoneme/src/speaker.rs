@@ -1,0 +1,123 @@
+//! Per-speaker voice parameters.
+//!
+//! The paper's 20 participants (and TIMIT's 630 speakers) are replaced by
+//! reproducible random draws of the parameters that actually matter to
+//! the defense: fundamental frequency, vocal-tract length (formant
+//! scale), vocal effort and speaking rate.
+
+use rand::Rng;
+
+/// Speaker sex — determines the F0 range and formant scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sex {
+    /// Male voice: F0 roughly 85–155 Hz.
+    Male,
+    /// Female voice: F0 roughly 165–255 Hz.
+    Female,
+}
+
+/// A synthetic speaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeakerProfile {
+    /// Speaker sex.
+    pub sex: Sex,
+    /// Mean fundamental frequency in Hz.
+    pub f0_hz: f32,
+    /// Random per-utterance F0 wobble, as a fraction of `f0_hz`.
+    pub f0_jitter: f32,
+    /// Multiplier applied to all formant frequencies (shorter vocal
+    /// tracts shift formants up; ~1.0 male, ~1.17 female).
+    pub formant_scale: f32,
+    /// Vocal effort relative to the nominal level, in dB.
+    pub effort_db: f32,
+    /// Speaking-rate multiplier applied to phoneme durations.
+    pub rate: f32,
+}
+
+impl SpeakerProfile {
+    /// Draws a random speaker (50/50 male/female).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let sex = if rng.gen_bool(0.5) { Sex::Male } else { Sex::Female };
+        Self::random_with_sex(sex, rng)
+    }
+
+    /// Draws a random speaker of the given sex.
+    pub fn random_with_sex<R: Rng + ?Sized>(sex: Sex, rng: &mut R) -> Self {
+        let (f0_lo, f0_hi, scale_lo, scale_hi) = match sex {
+            Sex::Male => (85.0, 155.0, 0.94, 1.06),
+            Sex::Female => (165.0, 255.0, 1.10, 1.24),
+        };
+        SpeakerProfile {
+            sex,
+            f0_hz: rng.gen_range(f0_lo..f0_hi),
+            f0_jitter: rng.gen_range(0.01..0.05),
+            formant_scale: rng.gen_range(scale_lo..scale_hi),
+            effort_db: rng.gen_range(-3.0..3.0),
+            rate: rng.gen_range(0.85..1.15),
+        }
+    }
+
+    /// A fixed reference male speaker, useful in deterministic tests.
+    pub fn reference_male() -> Self {
+        SpeakerProfile {
+            sex: Sex::Male,
+            f0_hz: 120.0,
+            f0_jitter: 0.02,
+            formant_scale: 1.0,
+            effort_db: 0.0,
+            rate: 1.0,
+        }
+    }
+
+    /// A fixed reference female speaker.
+    pub fn reference_female() -> Self {
+        SpeakerProfile {
+            sex: Sex::Female,
+            f0_hz: 210.0,
+            f0_jitter: 0.02,
+            formant_scale: 1.17,
+            effort_db: 0.0,
+            rate: 1.0,
+        }
+    }
+
+    /// Coarse voice-feature vector `(f0, formant_scale)` — the quantity a
+    /// speaker-verification gate (and the voice-synthesis attacker)
+    /// estimates from recordings.
+    pub fn voice_signature(&self) -> (f32, f32) {
+        (self.f0_hz, self.formant_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn f0_ranges_respect_sex() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let m = SpeakerProfile::random_with_sex(Sex::Male, &mut rng);
+            assert!((85.0..155.0).contains(&m.f0_hz));
+            let f = SpeakerProfile::random_with_sex(Sex::Female, &mut rng);
+            assert!((165.0..255.0).contains(&f.f0_hz));
+            assert!(f.formant_scale > m.formant_scale);
+        }
+    }
+
+    #[test]
+    fn random_draw_is_reproducible() {
+        let a = SpeakerProfile::random(&mut StdRng::seed_from_u64(9));
+        let b = SpeakerProfile::random(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_speakers_are_distinct() {
+        let m = SpeakerProfile::reference_male();
+        let f = SpeakerProfile::reference_female();
+        assert_ne!(m.voice_signature(), f.voice_signature());
+    }
+}

@@ -1,0 +1,478 @@
+//! Source–filter formant synthesizer.
+//!
+//! Voiced phonemes are synthesized as a glottal pulse train (impulse
+//! train with spectral tilt, jitter and shimmer) shaped by a cascade of
+//! Klatt-style second-order formant resonators. Unvoiced phonemes use
+//! band-limited noise; stops add a closure-then-burst temporal structure;
+//! voiced obstruents mix both excitation types. The output of interest is
+//! not naturalness but the correct *coarse spectral physics* — voicing,
+//! energy placement and intrinsic level per phoneme.
+
+use crate::inventory::{Inventory, PhonemeClass, PhonemeId};
+use crate::speaker::SpeakerProfile;
+use rand::Rng;
+use thrubarrier_dsp::{fft, stats, AudioBuffer};
+
+/// A labelled span of an [`Utterance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The phoneme spoken in this span.
+    pub phoneme: PhonemeId,
+    /// First sample index (inclusive).
+    pub start: usize,
+    /// One past the last sample index.
+    pub end: usize,
+}
+
+/// A synthesized utterance with its time-aligned phonetic transcription —
+/// the same shape of data TIMIT provides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utterance {
+    /// The audio samples.
+    pub audio: AudioBuffer,
+    /// Time-aligned phoneme segments (sample indices into `audio`).
+    pub segments: Vec<Segment>,
+}
+
+/// RMS amplitude of a reference vowel (intensity 0 dB) as synthesized.
+///
+/// Callers that want a speech passage at a given sound pressure level
+/// should scale by `spl_to_rms(spl) / REFERENCE_RMS` so that *relative*
+/// phoneme intensities survive (calibrating every phoneme individually
+/// would erase exactly the intrinsic-loudness differences the paper's
+/// selection criteria are built on).
+pub const REFERENCE_RMS: f32 = 0.1;
+
+/// Formant synthesizer configured for a fixed sample rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Synthesizer {
+    sample_rate: u32,
+}
+
+/// A Klatt-style two-pole resonator with unity DC gain.
+#[derive(Debug, Clone, Copy)]
+struct Resonator {
+    a: f32,
+    b: f32,
+    c: f32,
+}
+
+impl Resonator {
+    fn new(center_hz: f32, bandwidth_hz: f32, sample_rate: f32) -> Self {
+        let t = 1.0 / sample_rate;
+        let c = -(-2.0 * std::f32::consts::PI * bandwidth_hz * t).exp();
+        let b = 2.0 * (-std::f32::consts::PI * bandwidth_hz * t).exp()
+            * (std::f32::consts::TAU * center_hz * t).cos();
+        let a = 1.0 - b - c;
+        Resonator { a, b, c }
+    }
+
+    fn filter(&self, signal: &mut [f32]) {
+        let (mut y1, mut y2) = (0.0f32, 0.0f32);
+        for x in signal.iter_mut() {
+            let y = self.a * *x + self.b * y1 + self.c * y2;
+            y2 = y1;
+            y1 = y;
+            *x = y;
+        }
+    }
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer producing audio at `sample_rate` Hz.
+    pub fn new(sample_rate: u32) -> Self {
+        Synthesizer { sample_rate }
+    }
+
+    /// The output sample rate.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Synthesizes a single phoneme sound of its natural (random)
+    /// duration for the given speaker. The returned signal's RMS encodes
+    /// the phoneme's intrinsic intensity relative to a reference vowel.
+    pub fn synthesize_phoneme<R: Rng + ?Sized>(
+        &self,
+        id: PhonemeId,
+        speaker: &SpeakerProfile,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let spec = Inventory::spec(id);
+        let (dmin, dmax) = spec.duration_ms;
+        let dur_ms = rng.gen_range(dmin..=dmax) * speaker.rate;
+        self.synthesize_phoneme_with_duration(id, speaker, dur_ms / 1_000.0, rng)
+    }
+
+    /// Synthesizes a single phoneme sound with an explicit duration in
+    /// seconds.
+    pub fn synthesize_phoneme_with_duration<R: Rng + ?Sized>(
+        &self,
+        id: PhonemeId,
+        speaker: &SpeakerProfile,
+        duration_s: f32,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let spec = Inventory::spec(id);
+        let fs = self.sample_rate as f32;
+        let n = ((duration_s * fs).round() as usize).max(8);
+        let f0 = speaker.f0_hz * (1.0 + speaker.f0_jitter * (rng.gen::<f32>() - 0.5));
+
+        let mut out = match spec.class {
+            PhonemeClass::Silence => {
+                // Near-silence; `spn` carries faint wideband noise.
+                match spec.noise_band {
+                    Some(band) => self.noise_band(n, band, rng),
+                    None => vec![0.0; n],
+                }
+            }
+            PhonemeClass::Vowel | PhonemeClass::Semivowel | PhonemeClass::Nasal => {
+                let mut sig = if spec.voiced {
+                    self.voiced_source(n, f0, rng)
+                } else {
+                    // Whispered/aspirated variants excite the same tract
+                    // with noise.
+                    thrubarrier_dsp::gen::gaussian_noise(rng, 1.0, n)
+                };
+                self.apply_formants(&mut sig, spec.formants, speaker.formant_scale);
+                if spec.class == PhonemeClass::Nasal {
+                    // Nasal murmur: attenuation above ~1 kHz.
+                    sig = fft::apply_frequency_response(&sig, self.sample_rate, |f| {
+                        if f < 1_000.0 {
+                            1.0
+                        } else {
+                            (1_000.0 / f).powf(0.4)
+                        }
+                    });
+                }
+                if spec.voiced {
+                    self.add_breathiness(&mut sig, 0.45, rng);
+                }
+                if let Some(band) = spec.noise_band {
+                    // Aspirates (hh/hv) add frication on top.
+                    let noise = self.noise_band(n, band, rng);
+                    mix_scaled(&mut sig, &noise, 0.8);
+                }
+                sig
+            }
+            PhonemeClass::Fricative => {
+                let band = spec.noise_band.expect("fricatives carry a noise band");
+                let mut sig = self.noise_band(n, band, rng);
+                if spec.voiced {
+                    // Voice bar: low-frequency periodic component under
+                    // the frication.
+                    let mut buzz = self.voiced_source(n, f0, rng);
+                    self.apply_formants(&mut buzz, [spec.formants[0], 1_100.0, 2_300.0], speaker.formant_scale);
+                    mix_scaled(&mut sig, &buzz, 0.7);
+                    self.add_breathiness(&mut sig, 0.35, rng);
+                }
+                sig
+            }
+            PhonemeClass::Stop | PhonemeClass::Affricate => {
+                let band = spec.noise_band.expect("stops carry a burst band");
+                // Closure (silence) followed by a decaying burst; the
+                // affricate's frication is longer.
+                let closure_frac = if spec.class == PhonemeClass::Stop { 0.4 } else { 0.3 };
+                let closure = (n as f32 * closure_frac) as usize;
+                let mut sig = vec![0.0f32; n];
+                let burst_len = n - closure;
+                let burst = self.noise_band(burst_len, band, rng);
+                let decay_rate = if spec.class == PhonemeClass::Stop { 60.0 } else { 15.0 };
+                for (i, &b) in burst.iter().enumerate() {
+                    let t = i as f32 / fs;
+                    sig[closure + i] = b * (-decay_rate * t).exp();
+                }
+                if spec.voiced {
+                    let mut buzz = self.voiced_source(n, f0, rng);
+                    self.apply_formants(&mut buzz, [300.0, 1_100.0, 2_300.0], speaker.formant_scale);
+                    mix_scaled(&mut sig, &buzz, 0.4);
+                    self.add_breathiness(&mut sig, 0.35, rng);
+                }
+                sig
+            }
+        };
+
+        apply_envelope(&mut out, fs);
+        // Scale to the phoneme's intrinsic intensity (relative RMS).
+        let target_rms =
+            stats::db_to_amplitude(spec.intensity_db + speaker.effort_db) * REFERENCE_RMS;
+        let current = stats::rms(&out);
+        // Scale every non-silent signal (the silence markers are all-zero
+        // except `spn`, whose faint noise must honour its intensity too).
+        if current > 0.0 {
+            let g = target_rms / current;
+            for v in &mut out {
+                *v *= g;
+            }
+        }
+        out
+    }
+
+    /// Synthesizes a phoneme sequence into a single utterance with
+    /// aligned segments and ~50 ms of leading/trailing silence.
+    pub fn synthesize_sequence<R: Rng + ?Sized>(
+        &self,
+        phonemes: &[PhonemeId],
+        speaker: &SpeakerProfile,
+        rng: &mut R,
+    ) -> Utterance {
+        let fs = self.sample_rate;
+        // Realistic end-pointing: VA recordings include generous leading
+        // and trailing silence around the command.
+        let lead = (0.25 * fs as f32) as usize;
+        let mut samples = vec![0.0f32; lead];
+        let mut segments = Vec::with_capacity(phonemes.len());
+        for (k, &id) in phonemes.iter().enumerate() {
+            // Occasional inter-word-style pauses, as in natural speech.
+            if k > 0 && rng.gen_bool(0.3) {
+                let pause = (rng.gen_range(0.05..0.15) * fs as f32) as usize;
+                samples.extend(std::iter::repeat(0.0).take(pause));
+            }
+            let sound = self.synthesize_phoneme(id, speaker, rng);
+            let start = samples.len();
+            samples.extend_from_slice(&sound);
+            segments.push(Segment {
+                phoneme: id,
+                start,
+                end: samples.len(),
+            });
+        }
+        samples.extend(std::iter::repeat(0.0).take(lead));
+        Utterance {
+            audio: AudioBuffer::new(samples, fs),
+            segments,
+        }
+    }
+
+    /// Synthesizes a [`crate::command::Command`] for a speaker.
+    pub fn synthesize_command<R: Rng + ?Sized>(
+        &self,
+        command: &crate::command::Command,
+        speaker: &SpeakerProfile,
+        rng: &mut R,
+    ) -> Utterance {
+        self.synthesize_sequence(&command.phoneme_ids(), speaker, rng)
+    }
+
+    /// Glottal pulse train with spectral tilt (-12 dB/oct), jitter and
+    /// shimmer.
+    fn voiced_source<R: Rng + ?Sized>(&self, n: usize, f0: f32, rng: &mut R) -> Vec<f32> {
+        let fs = self.sample_rate as f32;
+        let mut sig = vec![0.0f32; n];
+        let mut pos = 0.0f32;
+        while (pos as usize) < n {
+            let idx = pos as usize;
+            let shimmer = 1.0 + 0.1 * (rng.gen::<f32>() - 0.5);
+            sig[idx] = shimmer;
+            let jitter = 1.0 + 0.02 * (rng.gen::<f32>() - 0.5);
+            pos += fs / (f0 * jitter);
+        }
+        // Two cascaded one-pole low-passes give the classic glottal
+        // -12 dB/octave roll-off.
+        let alpha = (-std::f32::consts::TAU * (2.0 * f0) / fs).exp();
+        for _ in 0..2 {
+            let mut y = 0.0f32;
+            for v in sig.iter_mut() {
+                y = (1.0 - alpha) * *v + alpha * y;
+                *v = y;
+            }
+        }
+        sig
+    }
+
+    /// Aspiration/breathiness: broadband high-frequency (2.8-7 kHz)
+    /// noise riding on every voiced sound, at `level` x the signal RMS.
+    /// This is what fills the upper spectrum of real speech - and what a
+    /// barrier strips from attack sounds.
+    fn add_breathiness<R: Rng + ?Sized>(&self, sig: &mut [f32], level: f32, rng: &mut R) {
+        let breath = self.noise_band(sig.len(), (2_800.0, 7_000.0), rng);
+        let gain = level * stats::rms(sig) / stats::rms(&breath).max(1e-9);
+        mix_scaled(sig, &breath, gain);
+    }
+
+    /// Band-limited Gaussian noise with raised-cosine band edges.
+    fn noise_band<R: Rng + ?Sized>(&self, n: usize, (lo, hi): (f32, f32), rng: &mut R) -> Vec<f32> {
+        let white = thrubarrier_dsp::gen::gaussian_noise(rng, 1.0, n);
+        let roll = 0.2 * (hi - lo);
+        fft::apply_frequency_response(&white, self.sample_rate, move |f| {
+            if f < lo - roll || f > hi + roll {
+                0.0
+            } else if f < lo {
+                0.5 * (1.0 + (std::f32::consts::PI * (f - (lo - roll)) / roll - std::f32::consts::PI).cos())
+            } else if f > hi {
+                0.5 * (1.0 + (std::f32::consts::PI * ((hi + roll) - f) / roll - std::f32::consts::PI).cos())
+            } else {
+                1.0
+            }
+        })
+    }
+
+    /// Cascade of formant resonators F1–F3 plus a fixed F4.
+    fn apply_formants(&self, sig: &mut [f32], formants: [f32; 3], scale: f32) {
+        let fs = self.sample_rate as f32;
+        let bandwidths = [60.0f32, 90.0, 150.0];
+        for (f, bw) in formants.iter().zip(bandwidths) {
+            let center = (f * scale).min(fs * 0.45);
+            if center > 50.0 {
+                Resonator::new(center, bw, fs).filter(sig);
+            }
+        }
+        // Fixed higher formant for overall timbre.
+        Resonator::new((3_300.0 * scale).min(fs * 0.45), 200.0, fs).filter(sig);
+    }
+}
+
+/// 10 ms raised-cosine attack/release envelope.
+fn apply_envelope(sig: &mut [f32], fs: f32) {
+    let ramp = ((0.01 * fs) as usize).min(sig.len() / 2);
+    for i in 0..ramp {
+        let g = 0.5 * (1.0 - (std::f32::consts::PI * i as f32 / ramp as f32).cos());
+        sig[i] *= g;
+        let n = sig.len();
+        sig[n - 1 - i] *= g;
+    }
+}
+
+fn mix_scaled(dst: &mut [f32], src: &[f32], gain: f32) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += gain * s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thrubarrier_dsp::fft::magnitude_spectrum;
+
+    fn band_energy(sig: &[f32], fs: f32, lo: f32, hi: f32) -> f32 {
+        let mags = magnitude_spectrum(sig, 4_096);
+        let n_fft = ((mags.len() - 1) * 2) as f32;
+        mags.iter()
+            .enumerate()
+            .filter(|(k, _)| {
+                let f = *k as f32 * fs / n_fft;
+                f >= lo && f < hi
+            })
+            .map(|(_, &m)| m * m)
+            .sum()
+    }
+
+    fn synth_symbol(sym: &str, dur: f32, seed: u64) -> Vec<f32> {
+        let s = Synthesizer::new(16_000);
+        let speaker = SpeakerProfile::reference_male();
+        let mut rng = StdRng::seed_from_u64(seed);
+        s.synthesize_phoneme_with_duration(
+            Inventory::by_symbol(sym).unwrap(),
+            &speaker,
+            dur,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn vowel_energy_sits_at_low_formants() {
+        let sig = synth_symbol("aa", 0.2, 1);
+        let low = band_energy(&sig, 16_000.0, 80.0, 1_500.0);
+        let high = band_energy(&sig, 16_000.0, 3_000.0, 8_000.0);
+        assert!(low > high * 5.0, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn s_energy_sits_in_high_band() {
+        let sig = synth_symbol("s", 0.15, 2);
+        let low = band_energy(&sig, 16_000.0, 0.0, 2_000.0);
+        let high = band_energy(&sig, 16_000.0, 3_000.0, 8_000.0);
+        assert!(high > low * 5.0, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn intrinsic_intensity_orders_rms() {
+        let aa = stats::rms(&synth_symbol("aa", 0.2, 3));
+        let ih = stats::rms(&synth_symbol("ih", 0.2, 4));
+        let s = stats::rms(&synth_symbol("s", 0.2, 5));
+        assert!(aa > ih, "aa {aa} vs ih {ih}");
+        assert!(ih > 4.0 * s, "ih {ih} vs s {s}");
+    }
+
+    #[test]
+    fn voiced_phonemes_show_harmonic_structure() {
+        // The spectrum of a voiced vowel should peak near F0 harmonics;
+        // verify there is substantially more energy near 120 Hz (F0) than
+        // at 60 Hz (below it).
+        let sig = synth_symbol("ae", 0.3, 6);
+        let near_f0 = band_energy(&sig, 16_000.0, 100.0, 140.0);
+        let below = band_energy(&sig, 16_000.0, 40.0, 80.0);
+        assert!(near_f0 > below * 2.0, "{near_f0} vs {below}");
+    }
+
+    #[test]
+    fn stops_have_closure_then_burst() {
+        let sig = synth_symbol("t", 0.1, 7);
+        let n = sig.len();
+        let first = stats::rms(&sig[..n * 3 / 10]);
+        let later = stats::rms(&sig[n * 4 / 10..n * 7 / 10]);
+        assert!(later > first * 3.0, "closure {first} vs burst {later}");
+    }
+
+    #[test]
+    fn silences_are_silent() {
+        let sig = synth_symbol("pau", 0.1, 8);
+        assert!(stats::rms(&sig) < 1e-4);
+    }
+
+    #[test]
+    fn female_formants_shift_up() {
+        let s = Synthesizer::new(16_000);
+        let id = Inventory::by_symbol("iy").unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = s.synthesize_phoneme_with_duration(id, &SpeakerProfile::reference_male(), 0.2, &mut rng);
+        let f = s.synthesize_phoneme_with_duration(id, &SpeakerProfile::reference_female(), 0.2, &mut rng);
+        // F2 of /iy/ is 2290 male -> ~2680 female; compare energy in the
+        // 2500-3000 band relative to 2000-2400.
+        let m_ratio = band_energy(&m, 16_000.0, 2_500.0, 3_000.0)
+            / band_energy(&m, 16_000.0, 2_000.0, 2_400.0).max(1e-9);
+        let f_ratio = band_energy(&f, 16_000.0, 2_500.0, 3_000.0)
+            / band_energy(&f, 16_000.0, 2_000.0, 2_400.0).max(1e-9);
+        assert!(f_ratio > m_ratio, "female {f_ratio} vs male {m_ratio}");
+    }
+
+    #[test]
+    fn sequence_segments_are_contiguous_and_aligned() {
+        let s = Synthesizer::new(16_000);
+        let speaker = SpeakerProfile::reference_male();
+        let mut rng = StdRng::seed_from_u64(10);
+        let ids: Vec<PhonemeId> = ["t", "er", "n"]
+            .iter()
+            .map(|sym| Inventory::by_symbol(sym).unwrap())
+            .collect();
+        let utt = s.synthesize_sequence(&ids, &speaker, &mut rng);
+        assert_eq!(utt.segments.len(), 3);
+        // Segments are ordered and non-overlapping; short pauses may
+        // separate them.
+        for w in utt.segments.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        assert!(utt.segments[0].start > 0);
+        assert!(utt.segments[2].end < utt.audio.len());
+        // Segment content is non-silent for audible phonemes.
+        for seg in &utt.segments {
+            let rms = stats::rms(&utt.audio.samples()[seg.start..seg.end]);
+            assert!(rms > 1e-4, "segment {:?} silent", seg.phoneme);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let a = synth_symbol("ae", 0.1, 42);
+        let b = synth_symbol("ae", 0.1, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn minimum_length_is_enforced() {
+        let sig = synth_symbol("t", 0.0, 11);
+        assert!(sig.len() >= 8);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the speech-synthesis substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thrubarrier_dsp::stats;
+use thrubarrier_phoneme::corpus::{frame_labels, random_common_sequence};
+use thrubarrier_phoneme::inventory::{Inventory, PhonemeClass, PhonemeId};
+use thrubarrier_phoneme::speaker::SpeakerProfile;
+use thrubarrier_phoneme::synth::Synthesizer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_phoneme_synthesizes_finite_audio(
+        idx in 0usize..63,
+        seed in 0u64..100,
+        dur in 0.02f32..0.3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let speaker = SpeakerProfile::random(&mut rng);
+        let synth = Synthesizer::new(16_000);
+        let sig = synth.synthesize_phoneme_with_duration(PhonemeId(idx), &speaker, dur, &mut rng);
+        prop_assert!(!sig.is_empty());
+        prop_assert!(sig.iter().all(|v| v.is_finite()));
+        // Intensity stays within physically sensible bounds.
+        prop_assert!(stats::rms(&sig) < 2.0);
+    }
+
+    #[test]
+    fn audible_phonemes_are_louder_than_silences(idx in 0usize..63, seed in 0u64..40) {
+        let spec = &Inventory::all()[idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let speaker = SpeakerProfile::reference_male();
+        let synth = Synthesizer::new(16_000);
+        let sig = synth.synthesize_phoneme_with_duration(PhonemeId(idx), &speaker, 0.15, &mut rng);
+        let rms = stats::rms(&sig);
+        if spec.class == PhonemeClass::Silence {
+            // `spn` (spoken noise) deliberately carries faint wideband
+            // noise; pure silences are near-zero.
+            let bound = if spec.noise_band.is_some() { 0.05 } else { 0.01 };
+            prop_assert!(rms < bound, "{} rms {}", spec.symbol, rms);
+        } else {
+            prop_assert!(rms > 1e-4, "{} rms {}", spec.symbol, rms);
+        }
+    }
+
+    #[test]
+    fn sequences_have_monotone_segments(seed in 0u64..60, len in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids = random_common_sequence(len, &mut rng);
+        let speaker = SpeakerProfile::random(&mut rng);
+        let synth = Synthesizer::new(16_000);
+        let utt = synth.synthesize_sequence(&ids, &speaker, &mut rng);
+        prop_assert_eq!(utt.segments.len(), len);
+        for w in utt.segments.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for seg in &utt.segments {
+            prop_assert!(seg.start < seg.end);
+            prop_assert!(seg.end <= utt.audio.len());
+        }
+    }
+
+    #[test]
+    fn frame_labels_cover_every_frame(seed in 0u64..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids = random_common_sequence(5, &mut rng);
+        let speaker = SpeakerProfile::random(&mut rng);
+        let synth = Synthesizer::new(16_000);
+        let utt = synth.synthesize_sequence(&ids, &speaker, &mut rng);
+        let labels = frame_labels(&utt, 400, 160, 99, |_| 1);
+        let expected = (utt.audio.len() - 400) / 160 + 1;
+        prop_assert_eq!(labels.len(), expected);
+        prop_assert!(labels.iter().all(|&l| l == 1 || l == 99));
+        // Some frames must overlap speech.
+        prop_assert!(labels.contains(&1));
+    }
+
+    #[test]
+    fn speaker_draws_are_physiologically_bounded(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = SpeakerProfile::random(&mut rng);
+        prop_assert!((85.0..255.0).contains(&s.f0_hz));
+        prop_assert!((0.9..1.3).contains(&s.formant_scale));
+        prop_assert!((0.8..1.2).contains(&s.rate));
+    }
+
+    #[test]
+    fn common_sequences_only_use_common_phonemes(seed in 0u64..50, len in 1usize..30) {
+        let common: Vec<PhonemeId> = thrubarrier_phoneme::common::common_phonemes()
+            .iter()
+            .map(|c| c.id)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in random_common_sequence(len, &mut rng) {
+            prop_assert!(common.contains(&id));
+        }
+    }
+}

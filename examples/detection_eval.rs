@@ -1,0 +1,47 @@
+//! Runs a small end-to-end detection evaluation (a miniature of the
+//! paper's Fig. 9b): replay attacks vs. legitimate commands, all three
+//! methods, AUC and EER.
+//!
+//! ```sh
+//! cargo run --release --example detection_eval
+//! ```
+
+use thrubarrier::attack::AttackKind;
+use thrubarrier::defense::DefenseMethod;
+use thrubarrier::eval::experiments::common::standard_settings;
+use thrubarrier::eval::runner::{Runner, RunnerConfig, SelectorChoice};
+
+fn main() {
+    let cfg = RunnerConfig {
+        seed: 9,
+        participants: 6,
+        commands_per_user: 10,
+        attacks_per_kind: 60,
+        attack_kinds: vec![AttackKind::Replay],
+        settings: standard_settings(),
+        selector: SelectorChoice::Energy,
+        ..Default::default()
+    };
+    println!(
+        "scoring {} legitimate + {} attack trials on {} threads...",
+        cfg.participants * cfg.commands_per_user,
+        cfg.attacks_per_kind,
+        cfg.threads
+    );
+    let outcome = Runner::new(cfg).run();
+    println!("\n{:<30} {:>8} {:>8}", "method", "AUC", "EER");
+    for method in DefenseMethod::all() {
+        let m = outcome.pool(method).metrics_of(AttackKind::Replay);
+        println!(
+            "{:<30} {:>8.3} {:>7.1}%",
+            method.label(),
+            m.auc,
+            m.eer * 100.0
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 9b): the audio baseline is barely\n\
+         usable (~0.69 AUC), cross-domain sensing jumps past 0.9, and the\n\
+         full system approaches 1.0."
+    );
+}

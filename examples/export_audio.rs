@@ -1,0 +1,66 @@
+//! Exports a listening set of WAV files: a synthesized command as the
+//! user hears it, the same command through the barrier, and a hidden
+//! voice version — so you can hear what the defense is up against.
+//!
+//! ```sh
+//! cargo run --release --example export_audio
+//! ls thrubarrier_audio/
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use thrubarrier::acoustics::loudspeaker::Loudspeaker;
+use thrubarrier::acoustics::room::{Room, RoomId};
+use thrubarrier::acoustics::scene::AcousticPath;
+use thrubarrier::attack::{AttackGenerator, AttackKind};
+use thrubarrier::dsp::{wav, AudioBuffer};
+use thrubarrier::phoneme::command::CommandBank;
+use thrubarrier::phoneme::synth::Synthesizer;
+use thrubarrier::phoneme::SpeakerProfile;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::path::Path::new("thrubarrier_audio");
+    std::fs::create_dir_all(out_dir)?;
+    let fs = 16_000u32;
+    let mut rng = StdRng::seed_from_u64(11);
+    let synth = Synthesizer::new(fs);
+    let bank = CommandBank::standard();
+    let cmd = bank.by_text("unlock the door").expect("command exists");
+    let speaker = SpeakerProfile::reference_male();
+
+    // 1. The command as spoken.
+    let mut clean = synth.synthesize_command(cmd, &speaker, &mut rng).audio;
+    clean.normalize_peak(0.8);
+    wav::write_wav(out_dir.join("command_clean.wav"), &clean)?;
+
+    // 2. The same command through the glass window.
+    let room = Room::paper_room(RoomId::A);
+    let path = AcousticPath::thru_barrier(room, 2.0, Loudspeaker::sound_bar());
+    let mut through = AudioBuffer::new(path.transmit(clean.samples(), fs), fs);
+    through.normalize_peak(0.8);
+    wav::write_wav(out_dir.join("command_through_barrier.wav"), &through)?;
+
+    // 3. A hidden (obfuscated) version of the command.
+    let generator = AttackGenerator::new(fs);
+    let adversary = SpeakerProfile::reference_female();
+    let hidden = generator.generate(AttackKind::HiddenVoice, cmd, &speaker, &adversary, &mut rng);
+    let mut hidden_buf = AudioBuffer::new(hidden.samples, fs);
+    hidden_buf.normalize_peak(0.8);
+    wav::write_wav(out_dir.join("command_hidden_voice.wav"), &hidden_buf)?;
+
+    println!(
+        "wrote {} files to {}/:",
+        3,
+        out_dir.display()
+    );
+    for name in [
+        "command_clean.wav",
+        "command_through_barrier.wav",
+        "command_hidden_voice.wav",
+    ] {
+        let meta = std::fs::metadata(out_dir.join(name))?;
+        println!("  {name}  ({} bytes)", meta.len());
+    }
+    println!("\nThe through-barrier file should sound muffled (high frequencies gone);");
+    println!("the hidden-voice file noise-like but with the command's rhythm.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Deployment walkthrough: calibrate a `VaGuard` from a few of the
+//! user's own commands (training-free — no attack data needed), then
+//! authorize a mixed stream of commands and attacks.
+//!
+//! ```sh
+//! cargo run --release --example guard_deployment
+//! ```
+
+use thrubarrier::attack::AttackKind;
+use thrubarrier::defense::{DefenseSystem, VaGuard, Verdict};
+use thrubarrier::scenario::TrialContext;
+
+fn main() {
+    let mut ctx = TrialContext::seeded(2024);
+    let mut guard = VaGuard::new(DefenseSystem::paper_default());
+
+    // Setup phase: the user speaks 8 commands; the guard places its
+    // threshold at the 10% quantile of their scores.
+    let mut calibration = Vec::new();
+    for _ in 0..8 {
+        let t = ctx.legitimate_trial();
+        calibration.push(
+            guard
+                .system()
+                .score(&t.va_recording, &t.wearable_recording, &mut ctx.rng),
+        );
+    }
+    guard.calibrate_threshold(&calibration, 0.10);
+    println!(
+        "calibrated threshold from {} enrolment commands: {:.3}\n",
+        calibration.len(),
+        guard.system().detector.threshold
+    );
+
+    // Operation phase: a mixed stream.
+    let mut accepted_user = 0;
+    let mut rejected_user = 0;
+    let mut blocked_attacks = 0;
+    let mut missed_attacks = 0;
+    for i in 0..12 {
+        if i % 3 != 2 {
+            let t = ctx.legitimate_trial();
+            let v = guard.authorize(&t.va_recording, Some(&t.wearable_recording), &mut ctx.rng);
+            if v.accepted() {
+                accepted_user += 1;
+            } else {
+                rejected_user += 1;
+            }
+        } else {
+            let kinds = [AttackKind::Replay, AttackKind::HiddenVoice, AttackKind::Random];
+            let kind = kinds[(i / 3) % 3];
+            let t = ctx.attack_trial(kind);
+            let v = guard.authorize(&t.va_recording, Some(&t.wearable_recording), &mut ctx.rng);
+            match v {
+                Verdict::Accept { score } => {
+                    missed_attacks += 1;
+                    println!("  missed {} (score {score:.3})", kind.name());
+                }
+                Verdict::RejectAttack { score } => {
+                    blocked_attacks += 1;
+                    println!("  blocked {} (score {score:.3})", kind.name());
+                }
+                Verdict::RejectWearableAbsent => unreachable!("wearable present"),
+            }
+        }
+    }
+    // A command arriving while the wearable is off is rejected outright.
+    let orphan = ctx.legitimate_trial();
+    let verdict = guard.authorize(&orphan.va_recording, None, &mut ctx.rng);
+    println!("\ncommand with wearable absent -> {verdict:?}");
+    println!(
+        "\nsummary: {accepted_user} user commands accepted, {rejected_user} falsely rejected, \
+         {blocked_attacks} attacks blocked, {missed_attacks} missed"
+    );
+}

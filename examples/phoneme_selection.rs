@@ -1,0 +1,26 @@
+//! Runs the offline barrier-effect-sensitive phoneme selection and
+//! prints Table II: the 37 common voice-command phonemes with the 31
+//! barrier-sensitive ones marked (the paper rejects the weak fricatives
+//! /s/, /z/ and the over-loud back vowels /aa/, /ao/).
+//!
+//! ```sh
+//! cargo run --release --example phoneme_selection
+//! ```
+
+use thrubarrier::eval::experiments::table2::{run, SelectionStudyConfig};
+
+fn main() {
+    let study = run(&SelectionStudyConfig::default());
+    println!("{}", study.render_text());
+    // Show the decision evidence for one phoneme of each failure class.
+    for sym in ["s", "aa", "er"] {
+        let stats = study.selection.stats_for(sym).expect("common phoneme");
+        let max_adv = stats.q3_adv[2..31].iter().cloned().fold(f32::MIN, f32::max);
+        let min_user = stats.q3_user[2..31].iter().cloned().fold(f32::MAX, f32::min);
+        println!(
+            "/{sym}/: max Q3 through barrier = {max_adv:.4} (criterion I: < {}), \
+             min Q3 without barrier = {min_user:.4} (criterion II: > {})",
+            study.selection.alpha, study.selection.alpha
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build the defense, present one legitimate command and one
+//! thru-barrier replay attack, and watch the scores separate.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use thrubarrier::defense::{DefenseMethod, DefenseSystem};
+use thrubarrier::scenario::TrialContext;
+
+fn main() {
+    // Everything in the workspace is seeded: same seed, same trial.
+    let mut ctx = TrialContext::seeded(42);
+    let system = DefenseSystem::paper_default();
+
+    println!("victim voice: F0 = {:.0} Hz", ctx.victim.f0_hz);
+    println!(
+        "room: {} ({} barrier), user {} m from the VA\n",
+        ctx.settings.room.id,
+        ctx.settings.room.barrier.material.name(),
+        ctx.settings.user_to_va_m
+    );
+
+    let legit = ctx.legitimate_trial();
+    let attack = ctx.replay_attack_trial();
+    println!(
+        "legitimate command: VA recorded {:.2} s, wearable {:.2} s (started late)",
+        legit.va_recording.duration(),
+        legit.wearable_recording.duration()
+    );
+    println!(
+        "replay attack:      VA recorded {:.2} s at {:.0} dB behind the barrier\n",
+        attack.va_recording.duration(),
+        ctx.settings.attack_spl_db
+    );
+
+    println!("{:<30} {:>10} {:>10}", "method", "legitimate", "attack");
+    for method in DefenseMethod::all() {
+        let s_legit = system.score_with_method(
+            method,
+            &legit.va_recording,
+            &legit.wearable_recording,
+            &mut ctx.rng,
+        );
+        let s_attack = system.score_with_method(
+            method,
+            &attack.va_recording,
+            &attack.wearable_recording,
+            &mut ctx.rng,
+        );
+        println!("{:<30} {s_legit:>10.3} {s_attack:>10.3}", method.label());
+    }
+
+    let score = system.score(&attack.va_recording, &attack.wearable_recording, &mut ctx.rng);
+    println!(
+        "\nfull-system verdict on the attack (threshold {}): {}",
+        system.detector.threshold,
+        if system.is_attack(score) {
+            "ATTACK DETECTED"
+        } else {
+            "accepted"
+        }
+    );
+}

@@ -1,0 +1,62 @@
+//! # thrubarrier
+//!
+//! A full reproduction of *"Defending against Thru-barrier Stealthy Voice
+//! Attacks via Cross-Domain Sensing on Phoneme Sounds"* (Shi et al., IEEE
+//! ICDCS 2022) as a Rust workspace: a training-free defense that protects
+//! voice-assistant systems from attackers issuing commands from behind
+//! windows and doors, by re-examining recorded commands in the
+//! *vibration domain* of a wearable's accelerometer.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`dsp`] — signal-processing primitives (FFT, STFT, MFCC, filters,
+//!   aliasing decimators, correlation).
+//! * [`nn`] — a from-scratch bidirectional-LSTM substrate for the phoneme
+//!   detector.
+//! * [`phoneme`] — formant-synthesis speech substrate (TIMIT substitute)
+//!   with a 63-phoneme inventory and voice-command bank.
+//! * [`acoustics`] — barriers, rooms, propagation, microphones,
+//!   loudspeakers and voice-assistant device models.
+//! * [`vibration`] — the wearable speaker + accelerometer cross-domain
+//!   sensing channel (aliasing, noise injection, low-frequency artifacts).
+//! * [`attack`] — random / replay / voice-synthesis / hidden-voice attack
+//!   generators and thru-barrier scenarios.
+//! * [`defense`] — the paper's contribution: synchronization, sensitive
+//!   phoneme selection and segmentation, vibration features, and the
+//!   2-D-correlation attack detector.
+//! * [`eval`] — metrics (TDR/FDR/ROC/AUC/EER) and the experiment drivers
+//!   that regenerate every table and figure in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use thrubarrier::defense::DefenseSystem;
+//! use thrubarrier::scenario::TrialContext;
+//!
+//! # fn main() {
+//! // Build the default defense system (Fossil Gen 5 wearable, paper
+//! // parameters) and score a legitimate command and an attack.
+//! let mut ctx = TrialContext::seeded(42);
+//! let system = DefenseSystem::paper_default();
+//! let legit = ctx.legitimate_trial();
+//! let attack = ctx.replay_attack_trial();
+//! let score_legit = system.score(&legit.va_recording, &legit.wearable_recording, &mut ctx.rng);
+//! let score_attack = system.score(&attack.va_recording, &attack.wearable_recording, &mut ctx.rng);
+//! assert!(score_legit > score_attack);
+//! # }
+//! ```
+
+pub use thrubarrier_acoustics as acoustics;
+pub use thrubarrier_attack as attack;
+pub use thrubarrier_defense as defense;
+pub use thrubarrier_dsp as dsp;
+pub use thrubarrier_eval as eval;
+pub use thrubarrier_nn as nn;
+pub use thrubarrier_phoneme as phoneme;
+pub use thrubarrier_vibration as vibration;
+
+/// Convenience re-export of the end-to-end trial scenario helpers used in
+/// examples and integration tests.
+pub mod scenario {
+    pub use thrubarrier_eval::scenario::*;
+}

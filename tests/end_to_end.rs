@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the full pipeline from synthesized
+//! speech through acoustics, recording, cross-domain sensing and
+//! detection.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thrubarrier::attack::AttackKind;
+use thrubarrier::defense::{DefenseMethod, DefenseSystem};
+use thrubarrier::scenario::{TrialContext, TrialSettings};
+
+#[test]
+fn full_system_separates_attacks_from_users() {
+    let mut ctx = TrialContext::seeded(1001);
+    let system = DefenseSystem::paper_default();
+    let mut legit_scores = Vec::new();
+    let mut attack_scores = Vec::new();
+    for _ in 0..6 {
+        let legit = ctx.legitimate_trial();
+        legit_scores.push(system.score(&legit.va_recording, &legit.wearable_recording, &mut ctx.rng));
+        let attack = ctx.replay_attack_trial();
+        attack_scores.push(system.score(
+            &attack.va_recording,
+            &attack.wearable_recording,
+            &mut ctx.rng,
+        ));
+    }
+    let legit_mean: f32 = legit_scores.iter().sum::<f32>() / legit_scores.len() as f32;
+    let attack_mean: f32 = attack_scores.iter().sum::<f32>() / attack_scores.len() as f32;
+    assert!(
+        legit_mean > attack_mean + 0.3,
+        "legit {legit_mean} vs attack {attack_mean}"
+    );
+}
+
+#[test]
+fn every_attack_kind_scores_below_typical_user() {
+    let mut ctx = TrialContext::seeded(1002);
+    let system = DefenseSystem::paper_default();
+    let mut legit_sum = 0.0f32;
+    for _ in 0..4 {
+        let legit = ctx.legitimate_trial();
+        legit_sum += system.score(&legit.va_recording, &legit.wearable_recording, &mut ctx.rng);
+    }
+    let legit_mean = legit_sum / 4.0;
+    for kind in AttackKind::all() {
+        let mut attack_sum = 0.0f32;
+        for _ in 0..3 {
+            let t = ctx.attack_trial(kind);
+            attack_sum += system.score(&t.va_recording, &t.wearable_recording, &mut ctx.rng);
+        }
+        let attack_mean = attack_sum / 3.0;
+        assert!(
+            attack_mean < legit_mean,
+            "{kind}: attack {attack_mean} vs legit {legit_mean}"
+        );
+    }
+}
+
+#[test]
+fn method_ordering_matches_paper() {
+    // Audio baseline must separate worse than the vibration methods.
+    let mut ctx = TrialContext::seeded(1003);
+    let system = DefenseSystem::paper_default();
+    let mut gap = |method: DefenseMethod, ctx: &mut TrialContext| -> f32 {
+        let mut legit = 0.0;
+        let mut attack = 0.0;
+        for _ in 0..5 {
+            let l = ctx.legitimate_trial();
+            legit += system.score_with_method(method, &l.va_recording, &l.wearable_recording, &mut ctx.rng);
+            let a = ctx.replay_attack_trial();
+            attack += system.score_with_method(method, &a.va_recording, &a.wearable_recording, &mut ctx.rng);
+        }
+        (legit - attack) / 5.0
+    };
+    let audio_gap = gap(DefenseMethod::AudioBaseline, &mut ctx);
+    let vib_gap = gap(DefenseMethod::VibrationBaseline, &mut ctx);
+    let full_gap = gap(DefenseMethod::Full, &mut ctx);
+    assert!(
+        vib_gap > audio_gap,
+        "vibration gap {vib_gap} vs audio gap {audio_gap}"
+    );
+    assert!(
+        full_gap > audio_gap,
+        "full gap {full_gap} vs audio gap {audio_gap}"
+    );
+}
+
+#[test]
+fn brick_wall_makes_attacks_inaudible() {
+    // The paper's reason for focusing on glass/wood: brick absorbs
+    // everything, so the attack barely reaches the VA at all.
+    use thrubarrier::acoustics::barrier::{Barrier, BarrierMaterial};
+    use thrubarrier::acoustics::room::{Room, RoomId};
+    let mut ctx = TrialContext::seeded(1004);
+    let mut brick_room = Room::paper_room(RoomId::A);
+    brick_room.barrier = Barrier::new(BarrierMaterial::BrickWall);
+    ctx.settings = TrialSettings {
+        room: brick_room,
+        ..Default::default()
+    };
+    let through_brick = ctx.attack_trial(AttackKind::Replay);
+    let mut ctx_glass = TrialContext::seeded(1004);
+    let through_glass = ctx_glass.attack_trial(AttackKind::Replay);
+    assert!(
+        through_brick.va_recording.rms() < through_glass.va_recording.rms() * 0.5,
+        "brick {} vs glass {}",
+        through_brick.va_recording.rms(),
+        through_glass.va_recording.rms()
+    );
+}
+
+#[test]
+fn scores_are_deterministic_given_seeds() {
+    let mut ctx_a = TrialContext::seeded(1005);
+    let mut ctx_b = TrialContext::seeded(1005);
+    let system = DefenseSystem::paper_default();
+    let ta = ctx_a.legitimate_trial();
+    let tb = ctx_b.legitimate_trial();
+    let mut ra = StdRng::seed_from_u64(5);
+    let mut rb = StdRng::seed_from_u64(5);
+    let sa = system.score(&ta.va_recording, &ta.wearable_recording, &mut ra);
+    let sb = system.score(&tb.va_recording, &tb.wearable_recording, &mut rb);
+    assert_eq!(sa, sb);
+}

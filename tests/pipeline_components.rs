@@ -1,0 +1,138 @@
+//! Cross-crate integration tests for individual pipeline stages working
+//! on each other's real outputs (rather than synthetic fixtures).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use thrubarrier::defense::segmentation::{
+    extract_selected_samples, DetectorTrainConfig, PhonemeDetector, SegmentSelector,
+};
+use thrubarrier::defense::selection::{run_selection, SelectionConfig};
+use thrubarrier::defense::sync;
+use thrubarrier::phoneme::corpus::{speaker_panel, training_corpus};
+use thrubarrier::phoneme::inventory::{Inventory, PhonemeId};
+use thrubarrier::phoneme::synth::Synthesizer;
+use thrubarrier::phoneme::SpeakerProfile;
+use thrubarrier::vibration::Wearable;
+
+#[test]
+fn selection_feeds_detector_training_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    let panel = speaker_panel(2, 2, &mut rng);
+    let selection = run_selection(
+        &SelectionConfig {
+            samples_per_phoneme: 6,
+            ..Default::default()
+        },
+        &Wearable::fossil_gen_5(),
+        &panel,
+        &mut rng,
+    );
+    // The screening keeps a clear majority of the common phonemes and
+    // always drops the weak fricatives.
+    let selected = selection.selected_ids();
+    assert!(selected.len() >= 25, "selected {}", selected.len());
+    assert!(!selection
+        .selected_symbols()
+        .contains(&"s"));
+
+    let sensitive: HashSet<PhonemeId> = selected.into_iter().collect();
+    let synth = Synthesizer::new(16_000);
+    let corpus = training_corpus(&synth, 16, &panel, &mut rng);
+    let detector = PhonemeDetector::train(
+        &sensitive,
+        &corpus,
+        &DetectorTrainConfig {
+            hidden_size: 12,
+            epochs: 2,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let acc = detector.frame_accuracy(&corpus);
+    assert!(acc > 0.75, "training accuracy {acc}");
+}
+
+#[test]
+fn synchronization_then_extraction_keeps_segments_aligned() {
+    // Synthesize an utterance, record it at two "devices" with a network
+    // delay, synchronize, select frames on one and extract from both:
+    // the extracted signals must be sample-aligned.
+    let mut rng = StdRng::seed_from_u64(2002);
+    let synth = Synthesizer::new(16_000);
+    let speaker = SpeakerProfile::reference_male();
+    let ids = ["t", "er", "n", "aa", "n"]
+        .iter()
+        .map(|s| Inventory::by_symbol(s).unwrap())
+        .collect::<Vec<_>>();
+    let utt = synth.synthesize_sequence(&ids, &speaker, &mut rng);
+    let va = utt.audio.clone();
+    let delayed = sync::apply_trigger_delay(&va, 0.08);
+    let (aligned, est) = sync::synchronize(&va, &delayed, 0.2).unwrap();
+    assert!((est - (0.08 * 16_000.0) as isize).abs() <= 2);
+
+    let selector = thrubarrier::defense::segmentation::EnergySelector::default();
+    let mask = selector.sensitive_frames(va.samples(), 16_000);
+    let a = extract_selected_samples(va.samples(), &mask, 400, 160);
+    let b = extract_selected_samples(aligned.samples(), &mask, 400, 160);
+    let n = a.len().min(b.len());
+    assert!(n > 1_000, "extracted too little: {n}");
+    let corr = thrubarrier::dsp::stats::pearson(&a[..n], &b[..n]);
+    assert!(corr > 0.95, "extracted segments misaligned: corr {corr}");
+}
+
+#[test]
+fn wearable_conversion_composes_with_feature_extraction() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let synth = Synthesizer::new(16_000);
+    let speaker = SpeakerProfile::reference_female();
+    let utt = synth.synthesize_sequence(
+        &[
+            Inventory::by_symbol("ih").unwrap(),
+            Inventory::by_symbol("k").unwrap(),
+            Inventory::by_symbol("ae").unwrap(),
+        ],
+        &speaker,
+        &mut rng,
+    );
+    let wearable = Wearable::fossil_gen_5();
+    let vib = wearable.convert(utt.audio.samples(), 16_000, &mut rng);
+    let features =
+        thrubarrier::defense::features::VibrationFeatureExtractor::paper_default().extract(&vib);
+    assert!(features.frames() > 0);
+    assert!(features.bin_frequency(0) > 5.0);
+    assert!((features.max_value() - 1.0).abs() < 1e-4);
+}
+
+#[test]
+fn hidden_voice_still_triggers_wake_matcher_but_fails_defense() {
+    use thrubarrier::acoustics::va::{VaDevice, VaModel};
+    use thrubarrier::attack::{AttackGenerator, AttackKind};
+    use thrubarrier::phoneme::command::CommandBank;
+
+    let mut rng = StdRng::seed_from_u64(2004);
+    let synth = Synthesizer::new(16_000);
+    let bank = CommandBank::standard();
+    let wake = bank.by_text("ok google").unwrap();
+    let victim = SpeakerProfile::reference_male();
+    let templates: Vec<Vec<f32>> = [
+        SpeakerProfile::reference_male(),
+        SpeakerProfile::reference_female(),
+    ]
+    .iter()
+    .map(|sp| synth.synthesize_command(wake, sp, &mut rng).audio.into_samples())
+    .collect();
+    let device = VaDevice::paper_device(VaModel::GoogleHome, &templates);
+
+    let generator = AttackGenerator::new(16_000);
+    let adversary = SpeakerProfile::reference_female();
+    let hidden = generator.generate(AttackKind::HiddenVoice, wake, &victim, &adversary, &mut rng);
+    // Presented cleanly (no barrier), the obfuscated command still
+    // matches the wake template enough to trigger the device...
+    let decision = device.evaluate(&hidden.samples, 16_000);
+    assert!(
+        decision.match_score > 0.5,
+        "hidden command match {}",
+        decision.match_score
+    );
+}
