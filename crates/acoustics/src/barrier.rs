@@ -21,7 +21,7 @@
 //! Fig. 3 — while a brick wall loses ≈ 28 dB everywhere, matching the
 //! paper's observation that brick makes thru-barrier attacks impractical.
 
-use thrubarrier_dsp::fft;
+use thrubarrier_dsp::response;
 
 /// Barrier materials studied in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +71,10 @@ impl BarrierMaterial {
     /// Whether the material is glass (for the Fig. 11b wood-vs-glass
     /// grouping).
     pub fn is_glass(self) -> bool {
-        matches!(self, BarrierMaterial::GlassWindow | BarrierMaterial::GlassWall)
+        matches!(
+            self,
+            BarrierMaterial::GlassWindow | BarrierMaterial::GlassWall
+        )
     }
 
     /// Human-readable name.
@@ -138,7 +141,18 @@ impl Barrier {
     /// application of the transmission curve).
     pub fn transmit(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
         let this = *self;
-        fft::apply_frequency_response(signal, sample_rate, move |f| this.transmission_gain(f))
+        // The transmission curve is fully determined by the material's
+        // three coefficients, so it is sampled once per (material,
+        // fft-size, rate) and reused from the response-curve cache.
+        let key = response::curve_key(
+            0x0042_4152_5249_4552,
+            &[
+                self.material.alpha_low(),
+                self.material.alpha_high(),
+                self.material.base_loss_db(),
+            ],
+        );
+        response::filter_cached(key, signal, sample_rate, move |f| this.transmission_gain(f))
     }
 }
 
@@ -199,7 +213,10 @@ mod tests {
         let mid = b.transmission_loss_db(1_800.0);
         assert!(low > 25.0);
         // Flat α plateau below the mass-law region.
-        assert!((mid - low).abs() < 5.0, "brick should be ~flat: {low} vs {mid}");
+        assert!(
+            (mid - low).abs() < 5.0,
+            "brick should be ~flat: {low} vs {mid}"
+        );
         // Everything is hard to penetrate, low frequencies included.
         assert!(b.transmission_loss_db(100.0) > 25.0);
     }

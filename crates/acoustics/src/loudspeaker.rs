@@ -7,8 +7,6 @@
 //! distortion — both of which are also what audio-domain replay detectors
 //! key on.
 
-use thrubarrier_dsp::fft;
-
 /// A loudspeaker with band limits and soft-clipping distortion.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Loudspeaker {
@@ -45,7 +43,8 @@ impl Loudspeaker {
     pub fn play(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
         let lo = self.low_hz;
         let hi = self.high_hz.min(sample_rate as f32 / 2.0 * 0.98);
-        let band = fft::apply_frequency_response(signal, sample_rate, move |f| {
+        let key = thrubarrier_dsp::response::curve_key(0x4C53_504B, &[lo, hi]);
+        let band = thrubarrier_dsp::response::filter_cached(key, signal, sample_rate, move |f| {
             if f < lo {
                 (f / lo).powi(2)
             } else if f > hi {

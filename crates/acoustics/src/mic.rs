@@ -66,8 +66,9 @@ impl Microphone {
     ) -> AudioBuffer {
         let gain = thrubarrier_dsp::stats::db_to_amplitude(self.array_gain_db);
         let hp = self.highpass_hz;
+        let key = thrubarrier_dsp::response::curve_key(0x4D49_4352, &[gain, hp]);
         let mut out =
-            thrubarrier_dsp::fft::apply_frequency_response(incident, sample_rate, move |f| {
+            thrubarrier_dsp::response::filter_cached(key, incident, sample_rate, move |f| {
                 // Gentle 2nd-order-like roll-off below the corner.
                 let r = if f < hp {
                     let x = (f / hp).max(1e-3);

@@ -94,7 +94,10 @@ impl Room {
 
     /// All four paper rooms.
     pub fn all_paper_rooms() -> Vec<Room> {
-        RoomId::all().iter().map(|&id| Room::paper_room(id)).collect()
+        RoomId::all()
+            .iter()
+            .map(|&id| Room::paper_room(id))
+            .collect()
     }
 
     /// Applies first-order early reflections: one tap per wall pair with

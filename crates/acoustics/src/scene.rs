@@ -94,7 +94,8 @@ impl AcousticPath {
         let delay = propagation_delay_samples(self.distance_m, sample_rate);
         let mut delayed = vec![0.0f32; delay];
         delayed.extend_from_slice(&sig);
-        self.room.apply_reverb_positioned(&delayed, sample_rate, rng)
+        self.room
+            .apply_reverb_positioned(&delayed, sample_rate, rng)
     }
 
     /// Propagates the source and records it with `mic`, including the
@@ -122,13 +123,12 @@ mod tests {
     use thrubarrier_dsp::{gen, stats};
 
     fn band_rms(sig: &[f32], fs: f32, lo: f32, hi: f32) -> f32 {
-        let filtered = thrubarrier_dsp::fft::apply_frequency_response(sig, fs as u32, |f| {
-            if f >= lo && f < hi {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let filtered = thrubarrier_dsp::response::filter_cached(
+            thrubarrier_dsp::response::curve_key(0x5343_4E42, &[lo, hi]),
+            sig,
+            fs as u32,
+            |f| if f >= lo && f < hi { 1.0 } else { 0.0 },
+        );
         stats::rms(&filtered)
     }
 
@@ -140,10 +140,10 @@ mod tests {
         let high = gen::sine(3_000.0, 0.5, 16_000, 0.5);
         thrubarrier_dsp::gen::mix_into(&mut src, &high);
         let out = path.transmit(&src, 16_000);
-        let low_ratio = band_rms(&out, 16_000.0, 200.0, 400.0)
-            / band_rms(&src, 16_000.0, 200.0, 400.0);
-        let high_ratio = band_rms(&out, 16_000.0, 2_800.0, 3_200.0)
-            / band_rms(&src, 16_000.0, 2_800.0, 3_200.0);
+        let low_ratio =
+            band_rms(&out, 16_000.0, 200.0, 400.0) / band_rms(&src, 16_000.0, 200.0, 400.0);
+        let high_ratio =
+            band_rms(&out, 16_000.0, 2_800.0, 3_200.0) / band_rms(&src, 16_000.0, 2_800.0, 3_200.0);
         // Both bands lose the same spreading factor.
         assert!((low_ratio - high_ratio).abs() / low_ratio < 0.25);
     }
@@ -177,7 +177,12 @@ mod tests {
         let room = Room::paper_room(RoomId::C);
         let path = AcousticPath::direct(room, 2.0);
         let mut rng = StdRng::seed_from_u64(5);
-        let rec = path.record(&vec![0.0; 8_000], 16_000, &Microphone::far_field_array(), &mut rng);
+        let rec = path.record(
+            &vec![0.0; 8_000],
+            16_000,
+            &Microphone::far_field_array(),
+            &mut rng,
+        );
         assert!(rec.rms() > 0.0);
     }
 

@@ -273,7 +273,11 @@ fn mfcc_similarity(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
                 Some((0.0f32, 0u32))
             } else {
                 let mut best: Option<(f32, u32)> = None;
-                for (pi, pj) in [(i.wrapping_sub(1), j), (i, j.wrapping_sub(1)), (i.wrapping_sub(1), j.wrapping_sub(1))] {
+                for (pi, pj) in [
+                    (i.wrapping_sub(1), j),
+                    (i, j.wrapping_sub(1)),
+                    (i.wrapping_sub(1), j.wrapping_sub(1)),
+                ] {
                     if pi < n && pj < m && acc[pi][pj].0 > neg_inf {
                         let cand = acc[pi][pj];
                         let better = match best {
@@ -358,7 +362,11 @@ mod tests {
     #[test]
     fn dtw_similarity_of_identical_sequences_is_one() {
         let frames: Vec<Vec<f32>> = (0..20)
-            .map(|i| (0..14).map(|j| ((i * 14 + j) as f32 * 0.31).sin()).collect())
+            .map(|i| {
+                (0..14)
+                    .map(|j| ((i * 14 + j) as f32 * 0.31).sin())
+                    .collect()
+            })
             .collect();
         let prepared = prepare_template(&frames, TEMPLATE_FRAMES);
         let s = mfcc_similarity(&prepared, &prepared);
@@ -368,9 +376,7 @@ mod tests {
     #[test]
     fn dtw_absorbs_time_stretching() {
         // The same trajectory sampled at two rates must stay similar.
-        let traj = |t: f32| -> Vec<f32> {
-            (0..14).map(|j| (t * 3.0 + j as f32).sin()).collect()
-        };
+        let traj = |t: f32| -> Vec<f32> { (0..14).map(|j| (t * 3.0 + j as f32).sin()).collect() };
         let a: Vec<Vec<f32>> = (0..30).map(|i| traj(i as f32 / 30.0)).collect();
         let b: Vec<Vec<f32>> = (0..45).map(|i| traj(i as f32 / 45.0)).collect();
         let pa = prepare_template(&a, TEMPLATE_FRAMES);
@@ -387,7 +393,12 @@ mod tests {
         // A stationary channel adds a constant per coefficient.
         let offset: Vec<Vec<f32>> = frames
             .iter()
-            .map(|f| f.iter().enumerate().map(|(j, v)| v + j as f32 * 0.5).collect())
+            .map(|f| {
+                f.iter()
+                    .enumerate()
+                    .map(|(j, v)| v + j as f32 * 0.5)
+                    .collect()
+            })
             .collect();
         let pa = prepare_template(&frames, TEMPLATE_FRAMES);
         let pb = prepare_template(&offset, TEMPLATE_FRAMES);
@@ -423,13 +434,12 @@ mod tests {
             sig[i] = 1.0;
         }
         // Smooth to look voiced.
-        let sig = thrubarrier_dsp::fft::apply_frequency_response(&sig, fs, |f| {
-            if f < 3_000.0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let sig = thrubarrier_dsp::response::filter_cached(
+            thrubarrier_dsp::response::curve_key(0x5641_4630, &[]),
+            &sig,
+            fs,
+            |f| if f < 3_000.0 { 1.0 } else { 0.0 },
+        );
         let f0 = estimate_f0(&sig, fs).expect("should detect pitch");
         assert!((f0 - 120.0).abs() < 6.0, "estimated {f0}");
     }
@@ -456,7 +466,7 @@ mod tests {
     #[test]
     fn template_match_accepts_same_template() {
         let tone = gen::chirp(200.0, 700.0, 0.3, 16_000, 0.6);
-        let dev = VaDevice::paper_device(VaModel::GoogleHome, &[tone.clone()]);
+        let dev = VaDevice::paper_device(VaModel::GoogleHome, std::slice::from_ref(&tone));
         let d = dev.evaluate(&tone, 16_000);
         assert!(d.match_score > 0.95);
     }
@@ -475,7 +485,7 @@ mod tests {
     #[test]
     fn quiet_reception_does_not_trigger() {
         let tone = gen::chirp(200.0, 700.0, 0.3, 16_000, 0.6);
-        let dev = VaDevice::paper_device(VaModel::IPhone, &[tone.clone()]);
+        let dev = VaDevice::paper_device(VaModel::IPhone, std::slice::from_ref(&tone));
         let quiet: Vec<f32> = tone.iter().map(|x| x * 1e-4).collect();
         let d = dev.evaluate(&quiet, 16_000);
         assert!(!d.triggered);
@@ -484,7 +494,7 @@ mod tests {
     #[test]
     fn siri_devices_verify_speakers() {
         let tone = gen::chirp(200.0, 700.0, 0.3, 16_000, 0.6);
-        let mut dev = VaDevice::paper_device(VaModel::IPhone, &[tone.clone()]);
+        let mut dev = VaDevice::paper_device(VaModel::IPhone, std::slice::from_ref(&tone));
         assert!(dev.verifies_speaker());
         dev.enroll_user(120.0);
         // Without a pitched signal, verification fails and blocks the
@@ -497,7 +507,7 @@ mod tests {
     #[test]
     fn smart_speakers_skip_verification() {
         let tone = gen::chirp(200.0, 700.0, 0.3, 16_000, 0.6);
-        let dev = VaDevice::paper_device(VaModel::AlexaEcho, &[tone.clone()]);
+        let dev = VaDevice::paper_device(VaModel::AlexaEcho, std::slice::from_ref(&tone));
         let d = dev.evaluate(&tone, 16_000);
         assert_eq!(d.verified, None);
     }

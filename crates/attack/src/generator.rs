@@ -131,7 +131,8 @@ impl AttackGenerator {
                 // Vocoder roughness: TTS output carries slow amplitude
                 // artifacts that degrade template matching at marginal
                 // SNR.
-                let mod_noise = thrubarrier_dsp::fft::apply_frequency_response(
+                let mod_noise = thrubarrier_dsp::response::filter_cached(
+                    thrubarrier_dsp::response::curve_key(0x564F_434F, &[]),
                     &thrubarrier_dsp::gen::gaussian_noise(rng, 1.0, samples.len()),
                     fs,
                     |f| if f < 20.0 { 1.0 } else { 0.0 },
@@ -178,15 +179,20 @@ impl AttackGenerator {
             .synthesize_command(command, victim, rng)
             .audio
             .into_samples();
-        let mut rec = thrubarrier_dsp::fft::apply_frequency_response(&clean, fs, |f| {
-            if f < 80.0 {
-                (f / 80.0).powi(2)
-            } else if f > 7_000.0 {
-                (7_000.0 / f).powi(2)
-            } else {
-                1.0
-            }
-        });
+        let mut rec = thrubarrier_dsp::response::filter_cached(
+            thrubarrier_dsp::response::curve_key(0x5652_4543, &[]),
+            &clean,
+            fs,
+            |f| {
+                if f < 80.0 {
+                    (f / 80.0).powi(2)
+                } else if f > 7_000.0 {
+                    (7_000.0 / f).powi(2)
+                } else {
+                    1.0
+                }
+            },
+        );
         let noise_std = thrubarrier_dsp::stats::rms(&rec) * 0.02;
         for v in &mut rec {
             *v += noise_std * thrubarrier_dsp::gen::standard_normal(rng);

@@ -174,7 +174,10 @@ mod tests {
             / band_energy(&clear, 16_000.0, 0.0, 8_000.0);
         let hidden_high = band_energy(&hidden, 16_000.0, 2_000.0, 6_000.0)
             / band_energy(&hidden, 16_000.0, 0.0, 8_000.0);
-        assert!(hidden_high > clear_high * 5.0, "{hidden_high} vs {clear_high}");
+        assert!(
+            hidden_high > clear_high * 5.0,
+            "{hidden_high} vs {clear_high}"
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ fn bench_fig3_fig4(c: &mut Criterion) {
         samples_per_phoneme: 4,
         ..Default::default()
     };
-    group.bench_function("fig3_audio_domain", |b| b.iter(|| black_box(fig3::run(&cfg))));
+    group.bench_function("fig3_audio_domain", |b| {
+        b.iter(|| black_box(fig3::run(&cfg)))
+    });
     group.bench_function("fig4_vibration_domain", |b| {
         b.iter(|| black_box(fig4::run(&cfg)))
     });

@@ -1,0 +1,229 @@
+//! Wall-clock pipeline benchmark with JSON output.
+//!
+//! Measures the median time of each pipeline stage and writes (or merges
+//! into) `BENCH_pipeline.json` so the perf trajectory of the workspace is
+//! tracked in-repo across PRs. Criterion remains the precision harness;
+//! this binary exists so a labelled snapshot can be committed.
+//!
+//! Usage: `bench_json [--label NAME] [--out FILE] [--iters N]`
+//!
+//! Runs under an existing label are replaced; other labels are kept, so
+//! `--label pre` / `--label post` snapshots accumulate in one file.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+use thrubarrier_acoustics::barrier::{Barrier, BarrierMaterial};
+use thrubarrier_defense::{DefenseMethod, DefenseSystem};
+use thrubarrier_dsp::mel::MfccExtractor;
+use thrubarrier_dsp::{correlate, fft, gen, Stft};
+use thrubarrier_eval::runner::score_trial;
+use thrubarrier_eval::scenario::TrialContext;
+use thrubarrier_vibration::Wearable;
+
+/// Median wall-clock nanoseconds of `f` over `iters` timed runs.
+fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u64 {
+    // Warm up caches (FFT plans, response curves, allocator pools).
+    f();
+    f();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
+    let mut out = BTreeMap::new();
+    let speech = gen::chirp(100.0, 3_000.0, 0.3, 16_000, 1.0);
+
+    out.insert(
+        "fft_magnitude_16k_samples",
+        median_ns(iters, || {
+            black_box(fft::magnitude_spectrum(black_box(&speech), 0));
+        }),
+    );
+
+    let barrier = Barrier::new(BarrierMaterial::GlassWindow);
+    out.insert(
+        "barrier_transmit_16k_samples",
+        median_ns(iters, || {
+            black_box(barrier.transmit(black_box(&speech), 16_000));
+        }),
+    );
+
+    let vib = gen::sine(30.0, 0.1, 200, 2.0);
+    let stft = Stft::vibration_default();
+    out.insert(
+        "stft_vibration_400_samples",
+        median_ns(iters.max(64), || {
+            black_box(stft.power_spectrogram(black_box(&vib), 200));
+        }),
+    );
+
+    let mfcc = MfccExtractor::paper_default();
+    out.insert(
+        "mfcc_1s_audio",
+        median_ns(iters, || {
+            black_box(mfcc.extract(black_box(&speech)));
+        }),
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let reference = gen::gaussian_noise(&mut rng, 0.1, 16_000);
+    let mut delayed = vec![0.0f32; 1_600];
+    delayed.extend_from_slice(&reference);
+    out.insert(
+        "delay_estimation_1s",
+        median_ns(iters, || {
+            black_box(
+                correlate::estimate_delay(black_box(&reference), black_box(&delayed), 4_000)
+                    .unwrap(),
+            );
+        }),
+    );
+
+    let wearable = Wearable::fossil_gen_5();
+    let long_speech = gen::chirp(150.0, 3_000.0, 0.1, 16_000, 2.0);
+    out.insert(
+        "wearable_convert_2s",
+        median_ns(iters, || {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(wearable.convert(black_box(&long_speech), 16_000, &mut rng));
+        }),
+    );
+
+    let mut ctx = TrialContext::seeded(77);
+    let legit = ctx.legitimate_trial();
+    let system = DefenseSystem::paper_default();
+    for (name, method) in [
+        ("score_audio_baseline", DefenseMethod::AudioBaseline),
+        ("score_vibration_baseline", DefenseMethod::VibrationBaseline),
+        ("score_full", DefenseMethod::Full),
+    ] {
+        out.insert(
+            name,
+            median_ns(iters, || {
+                let mut rng = StdRng::seed_from_u64(3);
+                black_box(system.score_with_method(
+                    method,
+                    black_box(&legit.va_recording),
+                    black_box(&legit.wearable_recording),
+                    &mut rng,
+                ));
+            }),
+        );
+    }
+
+    // The end-to-end pipeline: synthesize + propagate + record a trial,
+    // then score it with all three methods (the eval runner's hot loop).
+    let mut trial_seed = 0u64;
+    out.insert(
+        "end_to_end_trial",
+        median_ns(iters, || {
+            trial_seed += 1;
+            let mut ctx = TrialContext::seeded(1_000 + trial_seed);
+            let trial = ctx.legitimate_trial();
+            black_box(score_trial(&trial, trial_seed, &system));
+        }),
+    );
+
+    out
+}
+
+/// Extracts `label -> stage -> ns` from a JSON file previously written by
+/// this binary (exact format match; not a general JSON parser).
+fn parse_existing(text: &str) -> BTreeMap<String, BTreeMap<String, u64>> {
+    let mut runs: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    let mut label: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((name, tail)) = rest.split_once('"') {
+                let tail = tail.trim_start_matches(':').trim();
+                if tail.starts_with('{') {
+                    if name != "runs" {
+                        label = Some(name.to_string());
+                    }
+                } else if let Some(l) = &label {
+                    let value = tail.trim_end_matches(',').trim();
+                    if let Ok(ns) = value.parse::<u64>() {
+                        runs.entry(l.clone())
+                            .or_default()
+                            .insert(name.to_string(), ns);
+                    }
+                }
+            }
+        } else if t.starts_with('}') {
+            label = None;
+        }
+    }
+    runs
+}
+
+fn render(runs: &BTreeMap<String, BTreeMap<String, u64>>) -> String {
+    let mut s = String::from("{\n  \"unit\": \"ns_median\",\n  \"runs\": {\n");
+    let n_labels = runs.len();
+    for (li, (label, stages)) in runs.iter().enumerate() {
+        s.push_str(&format!("    \"{label}\": {{\n"));
+        let n = stages.len();
+        for (i, (name, ns)) in stages.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            s.push_str(&format!("      \"{name}\": {ns}{comma}\n"));
+        }
+        let comma = if li + 1 < n_labels { "," } else { "" };
+        s.push_str(&format!("    }}{comma}\n"));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+fn main() {
+    let mut label = "post".to_string();
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut iters = 15usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--out" => out_path = args.next().expect("--out needs a value"),
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters must be an integer")
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: bench_json [--label NAME] [--out FILE] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("benchmarking ({iters} iterations per stage) ...");
+    let stages = run_stages(iters);
+    for (name, ns) in &stages {
+        eprintln!("  {name}: {:.3} ms", *ns as f64 / 1e6);
+    }
+
+    let mut runs = std::fs::read_to_string(&out_path)
+        .map(|t| parse_existing(&t))
+        .unwrap_or_default();
+    runs.insert(
+        label.clone(),
+        stages
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    );
+    std::fs::write(&out_path, render(&runs)).expect("write benchmark JSON");
+    eprintln!("wrote {out_path} (label \"{label}\")");
+}

@@ -119,8 +119,7 @@ fn run_experiment(
             if let Some(s) = seed {
                 cfg.seed = s;
             }
-            cfg.samples_per_phoneme =
-                ((100.0 * preset.scale.max(0.12)) as usize).clamp(12, 100);
+            cfg.samples_per_phoneme = ((100.0 * preset.scale.max(0.12)) as usize).clamp(12, 100);
             println!("{}", table2::run(&cfg).render_text());
         }
         "fig3" | "fig4" => {
@@ -128,8 +127,7 @@ fn run_experiment(
             if let Some(s) = seed {
                 cfg.seed = s;
             }
-            cfg.samples_per_phoneme =
-                ((100.0 * preset.scale.max(0.1)) as usize).clamp(10, 100);
+            cfg.samples_per_phoneme = ((100.0 * preset.scale.max(0.1)) as usize).clamp(10, 100);
             if name == "fig3" {
                 println!("{}", fig3::run(&cfg).render_text());
             } else {
@@ -173,10 +171,8 @@ fn run_experiment(
             if let Some(dir) = csv_dir {
                 for row in &study.rows {
                     for (method, metrics) in &row.methods {
-                        let slug = format!(
-                            "{name}_{}_{method:?}",
-                            row.attack.name().replace(' ', "_")
-                        );
+                        let slug =
+                            format!("{name}_{}_{method:?}", row.attack.name().replace(' ', "_"));
                         let path = dir.join(format!("{slug}_roc.csv"));
                         let file = std::fs::File::create(&path).expect("create roc csv");
                         thrubarrier_eval::report::write_roc_csv(
@@ -228,8 +224,7 @@ fn run_experiment(
                 cfg.epochs = epochs;
                 cfg.hidden = hidden;
             }
-            cfg.samples_per_phoneme =
-                ((100.0 * preset.scale.max(0.08)) as usize).clamp(8, 100);
+            cfg.samples_per_phoneme = ((100.0 * preset.scale.max(0.08)) as usize).clamp(8, 100);
             println!("{}", phoneme_detection::run(&cfg).render_text());
         }
         "ablation" => {
@@ -245,7 +240,12 @@ fn run_experiment(
             if let Some(s) = seed {
                 cfg.seed = s;
             }
-            if let SelectorChoice::Brnn { corpus_size, epochs, hidden } = preset.selector {
+            if let SelectorChoice::Brnn {
+                corpus_size,
+                epochs,
+                hidden,
+            } = preset.selector
+            {
                 cfg.corpus_size = corpus_size;
                 cfg.epochs = epochs;
                 cfg.hidden = hidden;

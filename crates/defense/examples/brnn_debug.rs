@@ -53,6 +53,9 @@ fn main() {
     let mut rows: Vec<_> = hit.into_iter().collect();
     rows.sort_by_key(|(s, _)| *s);
     for (sym, (sel, total)) in rows {
-        println!("{sym:<10} selected {:>5.1}%  (n={total})", 100.0 * sel as f32 / total as f32);
+        println!(
+            "{sym:<10} selected {:>5.1}%  (n={total})",
+            100.0 * sel as f32 / total as f32
+        );
     }
 }

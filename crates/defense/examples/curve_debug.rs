@@ -17,7 +17,10 @@ fn main() {
         let s = sel.stats_for(sym).unwrap();
         println!("--- {sym} ---");
         for (b, f) in sel.bin_frequencies.iter().enumerate() {
-            println!("{f:6.2} Hz  adv {:+.5}  user {:+.5}", s.q3_adv[b], s.q3_user[b]);
+            println!(
+                "{f:6.2} Hz  adv {:+.5}  user {:+.5}",
+                s.q3_adv[b], s.q3_user[b]
+            );
         }
     }
 }

@@ -14,7 +14,10 @@ fn main() {
     };
     let sel = run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
     println!("alpha = {}", sel.alpha);
-    println!("{:<6} {:>12} {:>12}  c1 c2 sel", "sym", "max_adv", "min_user");
+    println!(
+        "{:<6} {:>12} {:>12}  c1 c2 sel",
+        "sym", "max_adv", "min_user"
+    );
     for s in &sel.stats {
         let max_adv = s.q3_adv[2..31].iter().cloned().fold(f32::MIN, f32::max);
         let min_user = s.q3_user[2..31].iter().cloned().fold(f32::MAX, f32::min);

@@ -48,9 +48,7 @@ impl VibrationFeatureExtractor {
         } else {
             vib.samples().to_vec()
         };
-        let mut spec = self
-            .stft
-            .power_spectrogram(&filtered, vib.sample_rate());
+        let mut spec = self.stft.power_spectrogram(&filtered, vib.sample_rate());
         spec.crop_low_frequencies(self.crop_hz);
         spec.normalize_by_max();
         spec
@@ -111,7 +109,7 @@ mod tests {
         let spec = VibrationFeatureExtractor::extract_audio_baseline(&rec);
         assert!(spec.frames() > 10);
         // Log features are finite and include negative (quiet-bin) values.
-        let all: Vec<f32> = spec.rows().iter().flatten().copied().collect();
+        let all: Vec<f32> = spec.rows().flatten().copied().collect();
         assert!(all.iter().all(|v| v.is_finite()));
         assert!(all.iter().any(|&v| v < 0.0));
     }

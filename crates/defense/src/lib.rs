@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 
 pub mod detector;
-pub mod guard;
 pub mod features;
+pub mod guard;
 pub mod segmentation;
 pub mod selection;
 pub mod sync;

@@ -259,7 +259,9 @@ impl PhonemeDetector {
             r.read_exact(&mut buf)?;
             let id = u32::from_le_bytes(buf) as usize;
             if id >= thrubarrier_phoneme::inventory::Inventory::len() {
-                return Err(SerializeError::Format(format!("phoneme id {id} out of range")));
+                return Err(SerializeError::Format(format!(
+                    "phoneme id {id} out of range"
+                )));
             }
             sensitive.insert(PhonemeId(id));
         }

@@ -151,8 +151,9 @@ pub fn vibration_magnitude_spectrum(vib: &AudioBuffer, n_fft: usize) -> Vec<f32>
     if vib.is_empty() {
         return vec![0.0; n_fft / 2 + 1];
     }
-    let stft = thrubarrier_dsp::Stft::new(n_fft, n_fft / 2, thrubarrier_dsp::window::WindowKind::Hann)
-        .expect("n_fft >= 2");
+    let stft =
+        thrubarrier_dsp::Stft::new(n_fft, n_fft / 2, thrubarrier_dsp::window::WindowKind::Hann)
+            .expect("n_fft >= 2");
     let spec = stft.magnitude_spectrogram(vib.samples(), vib.sample_rate());
     spec.mean_per_bin()
         .into_iter()
@@ -237,8 +238,7 @@ pub fn run_selection<R: Rng + ?Sized>(
             let gain = speech_gain_for_spl(spl);
             let calibrated: Vec<f32> = sound.iter().map(|&x| x * gain).collect();
 
-            let adv_path =
-                AcousticPath::thru_barrier(room.clone(), cfg.distance_m, speaker_device);
+            let adv_path = AcousticPath::thru_barrier(room.clone(), cfg.distance_m, speaker_device);
             let adv_rec = adv_path.record(&calibrated, fs, &mic, rng);
             adv_vibs.push(wearable.convert(adv_rec.samples(), fs, rng));
 
@@ -319,7 +319,10 @@ mod tests {
         let ml = vibration_magnitude_spectrum(&long, 64);
         let peak_s = ms.iter().cloned().fold(0.0f32, f32::max);
         let peak_l = ml.iter().cloned().fold(0.0f32, f32::max);
-        assert!((peak_s - peak_l).abs() / peak_l < 0.5, "{peak_s} vs {peak_l}");
+        assert!(
+            (peak_s - peak_l).abs() / peak_l < 0.5,
+            "{peak_s} vs {peak_l}"
+        );
     }
 
     // The full-selection behaviour (31 of 37, /s/ /z/ /aa/ /ao/ rejected)
@@ -336,8 +339,12 @@ mod tests {
         assert!(!s.passes_criterion_2, "/s/ passed criterion II");
         // /ih/ is a regular vowel: it must be selected.
         let ih = sel.stats_for("ih").unwrap();
-        assert!(ih.selected(), "/ih/ rejected: c1={} c2={}",
-            ih.passes_criterion_1, ih.passes_criterion_2);
+        assert!(
+            ih.selected(),
+            "/ih/ rejected: c1={} c2={}",
+            ih.passes_criterion_1,
+            ih.passes_criterion_2
+        );
         // /aa/ is over-loud: it must fail Criterion I.
         let aa = sel.stats_for("aa").unwrap();
         assert!(!aa.passes_criterion_1, "/aa/ passed criterion I");

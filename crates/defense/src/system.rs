@@ -150,15 +150,15 @@ impl DefenseSystem {
                 let b = VibrationFeatureExtractor::extract_audio_baseline(&aligned_wearable);
                 self.detector.score(&a, &b)
             }
-            DefenseMethod::VibrationBaseline => {
-                self.vibration_score(va_recording.samples(), aligned_wearable.samples(),
-                    va_recording.sample_rate(), rng)
-            }
+            DefenseMethod::VibrationBaseline => self.vibration_score(
+                va_recording.samples(),
+                aligned_wearable.samples(),
+                va_recording.sample_rate(),
+                rng,
+            ),
             DefenseMethod::Full => {
                 let fs = va_recording.sample_rate();
-                let mask = self
-                    .selector
-                    .sensitive_frames(va_recording.samples(), fs);
+                let mask = self.selector.sensitive_frames(va_recording.samples(), fs);
                 // Frame geometry of the paper's MFCC front-end.
                 let (frame_len, hop) = (400, 160);
                 let va_sel =
@@ -233,10 +233,7 @@ mod tests {
         for v in &mut b {
             *v += noise * thrubarrier_dsp::gen::standard_normal(&mut rng);
         }
-        (
-            AudioBuffer::new(a, 16_000),
-            AudioBuffer::new(b, 16_000),
-        )
+        (AudioBuffer::new(a, 16_000), AudioBuffer::new(b, 16_000))
     }
 
     #[test]
@@ -299,7 +296,10 @@ mod tests {
 
     #[test]
     fn method_labels_match_figures() {
-        assert_eq!(DefenseMethod::AudioBaseline.label(), "Audio-domain baseline");
+        assert_eq!(
+            DefenseMethod::AudioBaseline.label(),
+            "Audio-domain baseline"
+        );
         assert_eq!(DefenseMethod::Full.label(), "Our defense system");
         assert_eq!(DefenseMethod::all().len(), 3);
     }

@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use thrubarrier_defense::segmentation::{extract_selected_samples, EnergySelector, SegmentSelector};
+use thrubarrier_defense::segmentation::{
+    extract_selected_samples, EnergySelector, SegmentSelector,
+};
 use thrubarrier_defense::sync;
 use thrubarrier_defense::{DefenseMethod, DefenseSystem};
 use thrubarrier_dsp::{gen, AudioBuffer};

@@ -3,15 +3,18 @@
 //! * The cross-device synchronization step (paper Eq. 5) aligns the VA and
 //!   wearable recordings with the lag that maximizes their
 //!   cross-correlation; [`estimate_delay`] implements it with an
-//!   FFT-based correlator.
+//!   FFT-based correlator running on the planned real-input transform.
 //! * The attack detector (paper Eq. 6) scores the similarity of two
 //!   normalized vibration spectrograms with a 2-D correlation
-//!   coefficient; [`correlation_2d`] implements it.
+//!   coefficient; [`spectrogram_correlation`] implements it directly on
+//!   the contiguous [`Spectrogram`] layout, and [`correlation_2d`] on raw
+//!   row vectors.
 
 use crate::complex::Complex;
 use crate::error::DspError;
 use crate::fft;
 use crate::stats;
+use crate::stft::Spectrogram;
 
 /// Full linear cross-correlation of `a` and `b` computed via FFT.
 ///
@@ -30,18 +33,23 @@ pub fn cross_correlate(a: &[f32], b: &[f32]) -> Result<Vec<f32>, DspError> {
     }
     let out_len = a.len() + b.len() - 1;
     let n = fft::next_pow2(out_len);
-    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::from_real(x)).collect();
-    fa.resize(n, Complex::ZERO);
+    // Both inputs are real, so only the non-negative half spectra are
+    // needed: their product is conjugate-symmetric, and the planned real
+    // inverse reconstructs the correlation at half the transform cost of
+    // the full complex route.
+    let mut fa: Vec<Complex> = Vec::new();
+    let mut fb: Vec<Complex> = Vec::new();
+    fft::half_spectrum_into(a, n, &mut fa);
     // Reverse b to turn convolution into correlation.
-    let mut fb: Vec<Complex> = b.iter().rev().map(|&x| Complex::from_real(x)).collect();
-    fb.resize(n, Complex::ZERO);
-    fft::fft_in_place(&mut fa)?;
-    fft::fft_in_place(&mut fb)?;
+    let rb: Vec<f32> = b.iter().rev().copied().collect();
+    fft::half_spectrum_into(&rb, n, &mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
-    fft::ifft_in_place(&mut fa)?;
-    Ok(fa[..out_len].iter().map(|c| c.re).collect())
+    let mut out = Vec::new();
+    fft::real_inverse_into(&fa, n, &mut out);
+    out.truncate(out_len);
+    Ok(out)
 }
 
 /// Estimates the delay (in samples) of `delayed` relative to `reference`
@@ -68,7 +76,11 @@ pub fn cross_correlate(a: &[f32], b: &[f32]) -> Result<Vec<f32>, DspError> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn estimate_delay(reference: &[f32], delayed: &[f32], max_lag: usize) -> Result<isize, DspError> {
+pub fn estimate_delay(
+    reference: &[f32],
+    delayed: &[f32],
+    max_lag: usize,
+) -> Result<isize, DspError> {
     let corr = cross_correlate(delayed, reference)?;
     // Index k corresponds to lag k - (reference.len() - 1) of `delayed`
     // relative to `reference`.
@@ -125,6 +137,52 @@ pub fn correlation_2d(a: &[Vec<f32>], b: &[Vec<f32>]) -> Result<f32, DspError> {
     let fa: Vec<f32> = a.iter().take(frames).flatten().copied().collect();
     let fb: Vec<f32> = b.iter().take(frames).flatten().copied().collect();
     Ok(stats::pearson(&fa, &fb))
+}
+
+/// [`correlation_2d`] specialized to [`Spectrogram`]s: the same Pearson
+/// score (identical arithmetic and result), computed by streaming over
+/// the spectrograms' contiguous rows without flattening either map into a
+/// temporary vector.
+///
+/// # Errors
+///
+/// Returns [`DspError::DimensionMismatch`] if the spectrograms have
+/// different bin counts.
+pub fn spectrogram_correlation(a: &Spectrogram, b: &Spectrogram) -> Result<f32, DspError> {
+    let frames = a.frames().min(b.frames());
+    if frames == 0 {
+        return Ok(0.0);
+    }
+    if a.bins() != b.bins() {
+        return Err(DspError::DimensionMismatch {
+            left: a.bins(),
+            right: b.bins(),
+        });
+    }
+    let count = frames * a.bins();
+    if count == 0 {
+        return Ok(0.0);
+    }
+    // Mirror `stats::pearson` exactly: f32 means, then f64-accumulated
+    // mean-centered moments, walking values in row-major order.
+    let ma = a.rows().take(frames).flatten().sum::<f32>() / count as f32;
+    let mb = b.rows().take(frames).flatten().sum::<f32>() / count as f32;
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for (ra, rb) in a.rows().take(frames).zip(b.rows().take(frames)) {
+        for (&x, &y) in ra.iter().zip(rb) {
+            let dx = (x - ma) as f64;
+            let dy = (y - mb) as f64;
+            cov += dx * dy;
+            va += dx * dx;
+            vb += dy * dy;
+        }
+    }
+    if va <= f64::EPSILON || vb <= f64::EPSILON {
+        return Ok(0.0);
+    }
+    Ok((cov / (va.sqrt() * vb.sqrt())) as f32)
 }
 
 #[cfg(test)]
@@ -228,6 +286,42 @@ mod tests {
             .collect();
         let r = correlation_2d(&a, &b).unwrap();
         assert!(r.abs() < 0.12, "independent noise correlated at {r}");
+    }
+
+    #[test]
+    fn spectrogram_correlation_matches_flattened_pearson() {
+        use crate::stft::Stft;
+        let mut rng = StdRng::seed_from_u64(23);
+        let fs = 200u32;
+        let x = gen::gaussian_noise(&mut rng, 1.0, 600);
+        let y: Vec<f32> = x
+            .iter()
+            .zip(gen::gaussian_noise(&mut rng, 0.3, 600))
+            .map(|(a, n)| a + n)
+            .collect();
+        let stft = Stft::vibration_default();
+        for crop in [false, true] {
+            let mut sa = stft.power_spectrogram(&x, fs);
+            let mut sb = stft.power_spectrogram(&y, fs);
+            if crop {
+                sa.crop_low_frequencies(5.0);
+                sb.crop_low_frequencies(5.0);
+            }
+            let streamed = spectrogram_correlation(&sa, &sb).unwrap();
+            let ra: Vec<Vec<f32>> = sa.rows().map(|r| r.to_vec()).collect();
+            let rb: Vec<Vec<f32>> = sb.rows().map(|r| r.to_vec()).collect();
+            let flattened = correlation_2d(&ra, &rb).unwrap();
+            assert_eq!(streamed, flattened, "crop={crop}");
+            assert!(streamed > 0.5, "signal+noise should correlate: {streamed}");
+        }
+    }
+
+    #[test]
+    fn spectrogram_correlation_identical_is_one() {
+        let spec = crate::stft::Stft::vibration_default()
+            .power_spectrogram(&gen::sine(25.0, 1.0, 200, 1.0), 200);
+        let r = spectrogram_correlation(&spec, &spec).unwrap();
+        assert!((r - 1.0).abs() < 1e-6, "{r}");
     }
 
     #[test]

@@ -155,13 +155,18 @@ mod tests {
     fn high_band_ratio_separates_filtered_signal() {
         let mut rng = StdRng::seed_from_u64(1);
         let wide = gen::gaussian_noise(&mut rng, 0.2, 8_000);
-        let low = crate::fft::apply_frequency_response(&wide, 16_000, |f| {
-            if f < 500.0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let low =
+            crate::fft::apply_frequency_response(
+                &wide,
+                16_000,
+                |f| {
+                    if f < 500.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let r_wide = high_band_energy_ratio(&wide, 16_000, 500.0);
         let r_low = high_band_energy_ratio(&low, 16_000, 500.0);
         assert!(r_wide > 0.8, "wide {r_wide}");

@@ -1,11 +1,27 @@
-//! Radix-2 fast Fourier transform and helpers.
+//! Planned radix-2 fast Fourier transforms.
 //!
-//! The in-place iterative Cooley–Tukey algorithm is used. Lengths must be
-//! powers of two; [`next_pow2`] and [`fft_padded`] help with arbitrary
-//! input lengths.
+//! The transform layer is built around [`FftPlan`]: the bit-reversal
+//! permutation and per-stage twiddle tables for one size are computed once
+//! (directly, via `sin`/`cos` per entry — not the error-accumulating
+//! `w *= wlen` recurrence) and reused for every transform of that size.
+//! [`with_plan`] hands out plans from a thread-local cache so the hot
+//! paths — [`fft_padded`], [`magnitude_spectrum`], the STFT, correlation,
+//! frequency-domain filtering — never rebuild tables or allocate plan
+//! state per call.
+//!
+//! Real signals take a packed fast path: an `N`-point real transform is
+//! computed as an `N/2`-point complex FFT of the even/odd-interleaved
+//! samples plus an `O(N)` unpacking step, roughly halving the work of
+//! every spectrum, filter and correlation in the workspace.
+//!
+//! Lengths must be powers of two; [`next_pow2`] and [`fft_padded`] help
+//! with arbitrary input lengths.
 
 use crate::complex::Complex;
 use crate::error::DspError;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Returns the smallest power of two that is `>= n` (and at least 1).
 ///
@@ -20,71 +36,285 @@ pub fn next_pow2(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
 
-/// In-place forward FFT.
+/// A precomputed plan for FFTs of one power-of-two size.
+///
+/// Holds the bit-reversal permutation, the forward twiddle factors of
+/// every butterfly stage (concatenated, `n - 1` entries total) and the
+/// unpacking twiddles used when this plan serves as the half-size kernel
+/// of a `2n`-point real transform. Each twiddle is evaluated directly
+/// from its angle, so plans are accurate to f32 rounding even at large
+/// sizes where the old multiply-recurrence visibly drifted.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `rev[i]` = bit-reversed index of `i` (u32 halves the table size).
+    rev: Vec<u32>,
+    /// Forward stage twiddles: for each stage `len = 2, 4, .., n`, the
+    /// `len/2` factors `exp(-i·2πk/len)`, concatenated in stage order.
+    twiddles: Vec<Complex>,
+    /// `exp(-i·πk/n)` for `k = 0..=n`: the split twiddles that unpack an
+    /// `n`-point complex FFT into a `2n`-point real spectrum.
+    real_twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FftLengthNotPowerOfTwo`] if `n` is not a power
+    /// of two.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if !n.is_power_of_two() {
+            return Err(DspError::FftLengthNotPowerOfTwo(n));
+        }
+        let bits = n.trailing_zeros();
+        let rev = if n <= 1 {
+            Vec::new()
+        } else {
+            (0..n)
+                .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as u32)
+                .collect()
+        };
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= n {
+            let step = std::f64::consts::TAU / len as f64;
+            for k in 0..len / 2 {
+                let ang = -(k as f64) * step;
+                twiddles.push(Complex::new(ang.cos() as f32, ang.sin() as f32));
+            }
+            len <<= 1;
+        }
+        let real_twiddles = (0..=n)
+            .map(|k| {
+                let ang = -std::f64::consts::PI * k as f64 / n.max(1) as f64;
+                Complex::new(ang.cos() as f32, ang.sin() as f32)
+            })
+            .collect();
+        Ok(FftPlan {
+            n,
+            rev,
+            twiddles,
+            real_twiddles,
+        })
+    }
+
+    /// The transform size this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this is the degenerate size-0 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan size.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.process::<false>(buf);
+    }
+
+    /// In-place inverse FFT of `buf`, including the `1/N` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan size.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.process::<true>(buf);
+        let scale = 1.0 / self.n as f32;
+        for v in buf.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    fn process<const INVERSE: bool>(&self, buf: &mut [Complex]) {
+        assert_eq!(buf.len(), self.n, "buffer length must match plan size");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        for (i, &j) in self.rev.iter().enumerate() {
+            let j = j as usize;
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+        let mut offset = 0usize;
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[offset..offset + half];
+            for start in (0..n).step_by(len) {
+                for (k, &t) in tw.iter().enumerate() {
+                    let w = if INVERSE { t.conj() } else { t };
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            offset += half;
+            len <<= 1;
+        }
+    }
+}
+
+thread_local! {
+    static PLANS: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Reused per-thread buffers so the hot paths are allocation-free once
+/// warmed up.
+#[derive(Default)]
+struct Scratch {
+    a: Vec<Complex>,
+    b: Vec<Complex>,
+    gains: Vec<f32>,
+}
+
+/// Runs `f` with the cached plan for power-of-two size `n`, building and
+/// caching the plan on first use. Reentrant: `f` may itself call
+/// [`with_plan`] (the real-input path does, for the half-size kernel).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two; use [`FftPlan::new`] directly for
+/// fallible construction.
+pub fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    let plan = PLANS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(p) = cache.get(&n) {
+            Rc::clone(p)
+        } else {
+            let p = Rc::new(FftPlan::new(n).expect("with_plan size must be a power of two"));
+            cache.insert(n, Rc::clone(&p));
+            p
+        }
+    });
+    f(&plan)
+}
+
+/// In-place forward FFT (plan-cached).
 ///
 /// # Errors
 ///
 /// Returns [`DspError::FftLengthNotPowerOfTwo`] if `buf.len()` is not a
 /// power of two.
 pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
-    transform(buf, false)
+    if !buf.len().is_power_of_two() {
+        return Err(DspError::FftLengthNotPowerOfTwo(buf.len()));
+    }
+    with_plan(buf.len(), |p| p.forward(buf));
+    Ok(())
 }
 
-/// In-place inverse FFT (includes the `1/N` normalization).
+/// In-place inverse FFT (plan-cached, includes the `1/N` normalization).
 ///
 /// # Errors
 ///
 /// Returns [`DspError::FftLengthNotPowerOfTwo`] if `buf.len()` is not a
 /// power of two.
 pub fn ifft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
-    transform(buf, true)?;
-    let n = buf.len() as f32;
-    for v in buf.iter_mut() {
-        *v = *v / n;
+    if !buf.len().is_power_of_two() {
+        return Err(DspError::FftLengthNotPowerOfTwo(buf.len()));
     }
+    with_plan(buf.len(), |p| p.inverse(buf));
     Ok(())
 }
 
-fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
-    let n = buf.len();
-    if !n.is_power_of_two() {
-        return Err(DspError::FftLengthNotPowerOfTwo(n));
+/// Writes the non-negative-frequency spectrum (`n/2 + 1` bins) of `signal`
+/// zero-padded to power-of-two length `n` into `out`, using the packed
+/// real-input fast path (an `n/2`-point complex FFT plus `O(n)` unpacking).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `signal.len() > n`.
+pub fn half_spectrum_into(signal: &[f32], n: usize, out: &mut Vec<Complex>) {
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    assert!(signal.len() <= n, "signal longer than fft length");
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        half_spectrum_with(&mut scratch.a, signal, n, out);
+    });
+}
+
+/// Core of [`half_spectrum_into`] with an explicit packing buffer, so
+/// callers inside this module can run it while holding the scratch pool.
+fn half_spectrum_with(z: &mut Vec<Complex>, signal: &[f32], n: usize, out: &mut Vec<Complex>) {
+    out.clear();
+    if n == 1 {
+        out.push(Complex::from_real(signal.first().copied().unwrap_or(0.0)));
+        return;
     }
-    if n <= 1 {
-        return Ok(());
+    let half = n / 2;
+    z.clear();
+    z.resize(half, Complex::ZERO);
+    for (m, slot) in z.iter_mut().enumerate() {
+        let re = signal.get(2 * m).copied().unwrap_or(0.0);
+        let im = signal.get(2 * m + 1).copied().unwrap_or(0.0);
+        *slot = Complex::new(re, im);
     }
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            buf.swap(i, j);
+    with_plan(half, |p| {
+        p.forward(z);
+        out.reserve(half + 1);
+        for k in 0..=half {
+            let zk = z[k % half];
+            let zmk = z[(half - k) % half].conj();
+            let even = (zk + zmk).scale(0.5);
+            let odd = (zk - zmk) * Complex::new(0.0, -0.5);
+            out.push(even + p.real_twiddles[k] * odd);
         }
+    });
+}
+
+/// Inverse of [`half_spectrum_into`]: reconstructs the length-`n` real
+/// signal whose non-negative-frequency spectrum is `spec` (`n/2 + 1`
+/// bins, conjugate symmetry implied), appending it to `out`.
+pub(crate) fn real_inverse_into(spec: &[Complex], n: usize, out: &mut Vec<f32>) {
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        real_inverse_with(&mut scratch.a, spec, n, out);
+    });
+}
+
+/// Core of [`real_inverse_into`] with an explicit unpacking buffer.
+fn real_inverse_with(z: &mut Vec<Complex>, spec: &[Complex], n: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(spec.len(), n / 2 + 1);
+    if n == 1 {
+        out.push(spec[0].re);
+        return;
     }
-    // Butterflies.
-    let sign = if inverse { 1.0f32 } else { -1.0f32 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * std::f32::consts::TAU / len as f32;
-        let wlen = Complex::from_polar(1.0, ang);
-        let half = len / 2;
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let a = buf[start + k];
-                let b = buf[start + k + half] * w;
-                buf[start + k] = a + b;
-                buf[start + k + half] = a - b;
-                w *= wlen;
-            }
+    let half = n / 2;
+    z.clear();
+    z.reserve(half);
+    with_plan(half, |p| {
+        for k in 0..half {
+            let xk = spec[k];
+            let xmk = spec[half - k].conj();
+            let even = (xk + xmk).scale(0.5);
+            let odd = p.real_twiddles[k].conj() * (xk - xmk).scale(0.5);
+            // z_k = even + i * odd
+            z.push(even + odd * Complex::I);
         }
-        len <<= 1;
+        p.inverse(z);
+    });
+    out.reserve(n);
+    for v in z.iter() {
+        out.push(v.re);
+        out.push(v.im);
     }
-    Ok(())
 }
 
 /// Forward FFT of a real signal, zero-padded to the next power of two (or
-/// to `min_len`, whichever is larger). Returns the full complex spectrum.
+/// to `min_len`, whichever is larger). Returns the full complex spectrum,
+/// reconstructed from the packed real-input fast path via conjugate
+/// symmetry.
 ///
 /// # Example
 ///
@@ -95,22 +325,32 @@ fn transform(buf: &mut [Complex], inverse: bool) -> Result<(), DspError> {
 /// ```
 pub fn fft_padded(signal: &[f32], min_len: usize) -> Vec<Complex> {
     let n = next_pow2(signal.len().max(min_len));
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    buf.resize(n, Complex::ZERO);
-    // Length is a power of two by construction.
-    fft_in_place(&mut buf).expect("padded length is a power of two");
-    buf
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        let spec = &mut scratch.b;
+        half_spectrum_with(&mut scratch.a, signal, n, spec);
+        let mut full = Vec::with_capacity(n);
+        full.extend_from_slice(spec);
+        for k in (1..n.div_ceil(2)).rev() {
+            full.push(spec[k].conj());
+        }
+        full
+    })
 }
 
 /// Magnitude spectrum (first `N/2 + 1` bins) of a real signal, zero-padded
-/// to a power of two.
+/// to a power of two. Computed with the packed real-input fast path.
 ///
 /// Bin `k` corresponds to frequency `k * sample_rate / N` where `N` is the
 /// padded length; use [`bin_frequencies`] to recover the axis.
 pub fn magnitude_spectrum(signal: &[f32], min_len: usize) -> Vec<f32> {
-    let spec = fft_padded(signal, min_len);
-    let half = spec.len() / 2 + 1;
-    spec[..half].iter().map(|c| c.norm()).collect()
+    let n = next_pow2(signal.len().max(min_len));
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        let spec = &mut scratch.b;
+        half_spectrum_with(&mut scratch.a, signal, n, spec);
+        spec.iter().map(|c| c.norm()).collect()
+    })
 }
 
 /// Frequencies (Hz) of the bins returned by [`magnitude_spectrum`] for a
@@ -122,14 +362,42 @@ pub fn bin_frequencies(n_fft: usize, sample_rate: u32) -> Vec<f32> {
         .collect()
 }
 
+/// Filters a real signal by per-bin gains over its padded spectrum:
+/// forward real FFT to `n = next_pow2(len)`, multiply bin `k` by
+/// `gains[k]` (`n/2 + 1` entries; the negative half follows from
+/// conjugate symmetry, keeping the output real), inverse real FFT,
+/// truncate to the input length.
+///
+/// This is the allocation-free core shared by [`apply_frequency_response`]
+/// and `ResponseCurve::filter`: plans and scratch come from thread-local
+/// caches, so steady state allocates nothing but the returned vector.
+pub(crate) fn filter_by_gains(signal: &[f32], n: usize, gains: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(gains.len(), n / 2 + 1);
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        let spec = &mut scratch.b;
+        half_spectrum_with(&mut scratch.a, signal, n, spec);
+        for (v, &g) in spec.iter_mut().zip(gains) {
+            *v = v.scale(g);
+        }
+        let mut out = Vec::new();
+        real_inverse_with(&mut scratch.a, spec, n, &mut out);
+        out.truncate(signal.len());
+        out
+    })
+}
+
 /// Applies a frequency-domain gain curve to a real signal and returns the
 /// filtered real signal (same length as the input).
 ///
 /// `gain` is sampled at the non-negative FFT bin frequencies via the
-/// provided closure (argument: frequency in Hz). The negative-frequency
-/// half is mirrored to keep the output real. This is how barrier
+/// provided closure (argument: frequency in Hz); the negative half is
+/// mirrored implicitly to keep the output real. This is how barrier
 /// transmission and transducer responses are applied throughout the
-/// workspace.
+/// workspace — device hot paths go through
+/// [`crate::response::filter_cached`], which additionally caches the
+/// sampled gain table per device so the closure is not re-evaluated on
+/// every call.
 ///
 /// # Example
 ///
@@ -150,22 +418,17 @@ where
         return Vec::new();
     }
     let n = next_pow2(signal.len());
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    buf.resize(n, Complex::ZERO);
-    fft_in_place(&mut buf).expect("padded length is a power of two");
-    let fs = sample_rate as f32;
-    for (k, v) in buf.iter_mut().enumerate() {
-        // Map bin index to signed frequency, then take |f|.
-        let f = if k <= n / 2 {
-            k as f32 * fs / n as f32
-        } else {
-            (n - k) as f32 * fs / n as f32
-        };
-        let g = gain(f);
-        *v = v.scale(g);
-    }
-    ifft_in_place(&mut buf).expect("padded length is a power of two");
-    buf[..signal.len()].iter().map(|c| c.re).collect()
+    let bin_hz = sample_rate as f32 / n as f32;
+    let gains = SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        let gains = &mut scratch.gains;
+        gains.clear();
+        gains.extend((0..=n / 2).map(|k| gain(k as f32 * bin_hz)));
+        std::mem::take(gains)
+    });
+    let out = filter_by_gains(signal, n, &gains);
+    SCRATCH.with(|s| s.borrow_mut().gains = gains);
+    out
 }
 
 #[cfg(test)]
@@ -180,6 +443,7 @@ mod tests {
             fft_in_place(&mut buf),
             Err(DspError::FftLengthNotPowerOfTwo(3))
         );
+        assert!(FftPlan::new(12).is_err());
     }
 
     #[test]
@@ -202,6 +466,80 @@ mod tests {
             assert!((orig - got.re).abs() < 1e-3);
             assert!(got.im.abs() < 1e-3);
         }
+    }
+
+    /// Naive O(N²) reference DFT.
+    fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc_re = 0.0f64;
+                let mut acc_im = 0.0f64;
+                for (j, x) in input.iter().enumerate() {
+                    let ang = -std::f64::consts::TAU * (k as f64) * (j as f64) / n as f64;
+                    let (s, c) = ang.sin_cos();
+                    acc_re += x.re as f64 * c - x.im as f64 * s;
+                    acc_im += x.re as f64 * s + x.im as f64 * c;
+                }
+                Complex::new(acc_re as f32, acc_im as f32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn planned_fft_matches_naive_dft_with_tight_tolerance() {
+        // The old per-stage `w *= wlen` recurrence drifted at large N;
+        // the plan's direct twiddle tables must track a float64 DFT to
+        // within 1e-4 relative error even at N = 4096.
+        for n in [8usize, 64, 1024, 4096] {
+            let sig: Vec<Complex> = (0..n)
+                .map(|i| {
+                    let x = i as f32;
+                    Complex::new((x * 0.37).sin() + 0.25 * (x * 0.11).cos(), 0.0)
+                })
+                .collect();
+            let reference = naive_dft(&sig);
+            let mut fast = sig.clone();
+            fft_in_place(&mut fast).unwrap();
+            let scale: f32 = reference.iter().map(|c| c.norm()).fold(0.0, f32::max);
+            for (k, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                let err = (*f - *r).norm() / scale;
+                assert!(err < 1e-4, "N={n} bin {k}: error {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_spectrum_matches_full_transform() {
+        let sig: Vec<f32> = (0..100).map(|i| ((i * 13) % 17) as f32 - 8.0).collect();
+        for n in [128usize, 256] {
+            let mut full: Vec<Complex> = sig.iter().map(|&x| Complex::from_real(x)).collect();
+            full.resize(n, Complex::ZERO);
+            fft_in_place(&mut full).unwrap();
+            let mut half = Vec::new();
+            half_spectrum_into(&sig, n, &mut half);
+            assert_eq!(half.len(), n / 2 + 1);
+            for (k, h) in half.iter().enumerate() {
+                assert!(
+                    (*h - full[k]).norm() < 1e-3,
+                    "bin {k}: {h:?} vs {:?}",
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_spectrum_tiny_sizes() {
+        let mut out = Vec::new();
+        half_spectrum_into(&[3.0], 1, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].re - 3.0).abs() < 1e-6);
+
+        half_spectrum_into(&[1.0, 2.0], 2, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].re - 3.0).abs() < 1e-6, "dc {:?}", out[0]);
+        assert!((out[1].re - (-1.0)).abs() < 1e-6, "nyquist {:?}", out[1]);
     }
 
     #[test]
@@ -243,6 +581,17 @@ mod tests {
         let sig = vec![0.5_f32; 777];
         let out = apply_frequency_response(&sig, 8_000, |_| 1.0);
         assert_eq!(out.len(), 777);
+    }
+
+    #[test]
+    fn frequency_response_identity_recovers_signal() {
+        let sig: Vec<f32> = (0..333)
+            .map(|i| ((i * 29) % 23) as f32 * 0.04 - 0.4)
+            .collect();
+        let out = apply_frequency_response(&sig, 8_000, |_| 1.0);
+        for (a, b) in sig.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -115,7 +115,11 @@ pub fn fir_lowpass(taps: usize, fc: f32, fs: f32) -> Result<Vec<f32>, DspError> 
             "need at least 3 taps, got {taps}"
         )));
     }
-    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    let taps = if taps.is_multiple_of(2) {
+        taps + 1
+    } else {
+        taps
+    };
     let mid = (taps / 2) as isize;
     let fc_norm = fc / fs;
     let win = WindowKind::Hamming.coefficients(taps);

@@ -5,7 +5,10 @@
 //! via Cross-Domain Sensing on Phoneme Sounds"* (ICDCS 2022) relies on,
 //! implemented from scratch:
 //!
-//! * complex arithmetic and a radix-2 [`fft`],
+//! * complex arithmetic and a planned radix-2 [`fft`] with a thread-local
+//!   plan cache and a packed real-input fast path,
+//! * cached frequency-[`response`] curves shared by every simulated
+//!   transducer and barrier,
 //! * [`window`] functions and the short-time Fourier transform ([`stft`]),
 //! * mel filterbanks and MFCC extraction ([`mel`]),
 //! * IIR biquad and windowed-sinc FIR [`filter`]s,
@@ -45,6 +48,7 @@ pub mod filter;
 pub mod gen;
 pub mod mel;
 pub mod resample;
+pub mod response;
 pub mod stats;
 pub mod stft;
 pub mod wav;

@@ -189,8 +189,7 @@ impl MfccExtractor {
     /// samples), 10 ms hop (160 samples), 40 filters over 0–900 Hz,
     /// 14 coefficients.
     pub fn paper_default() -> Self {
-        MfccExtractor::new(16_000, 400, 160, 40, 14, 0.0, 900.0)
-            .expect("static config is valid")
+        MfccExtractor::new(16_000, 400, 160, 40, 14, 0.0, 900.0).expect("static config is valid")
     }
 
     /// Number of coefficients per frame.
@@ -226,24 +225,22 @@ impl MfccExtractor {
     pub fn extract(&self, signal: &[f32]) -> Vec<Vec<f32>> {
         let frames = self.frame_count(signal.len());
         let window = WindowKind::Hamming.coefficients(self.frame_len);
+        let half = self.n_fft / 2 + 1;
         let mut out = Vec::with_capacity(frames);
+        // Per-frame buffers are hoisted out of the loop; the FFT itself
+        // runs on the cached plan's packed real-input path.
+        let mut frame = vec![0.0f32; self.frame_len];
+        let mut spec = Vec::with_capacity(half);
+        let mut power = vec![0.0f32; half];
         for fi in 0..frames {
             let start = fi * self.hop;
-            let mut frame = vec![0.0f32; self.n_fft];
-            for i in 0..self.frame_len {
-                if start + i < signal.len() {
-                    frame[i] = signal[start + i] * window[i];
-                }
+            for (i, (slot, &w)) in frame.iter_mut().zip(&window).enumerate() {
+                *slot = signal.get(start + i).map_or(0.0, |&x| x * w);
             }
-            let mut buf: Vec<crate::complex::Complex> = frame
-                .iter()
-                .map(|&x| crate::complex::Complex::from_real(x))
-                .collect();
-            fft::fft_in_place(&mut buf).expect("n_fft is a power of two");
-            let power: Vec<f32> = buf[..self.n_fft / 2 + 1]
-                .iter()
-                .map(|c| c.norm_sq())
-                .collect();
+            fft::half_spectrum_into(&frame, self.n_fft, &mut spec);
+            for (p, c) in power.iter_mut().zip(&spec) {
+                *p = c.norm_sq();
+            }
             let energies = self.filterbank.apply(&power);
             let log_e: Vec<f32> = energies.iter().map(|&e| (e + 1e-10).ln()).collect();
             out.push(dct_ii(&log_e, self.n_coeffs));
@@ -327,11 +324,7 @@ mod tests {
         let fe = m.extract(&noise);
         // Average feature distance between classes should be clearly
         // non-zero.
-        let d: f32 = ft[2]
-            .iter()
-            .zip(&fe[2])
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let d: f32 = ft[2].iter().zip(&fe[2]).map(|(a, b)| (a - b).abs()).sum();
         assert!(d > 1.0, "distance {d}");
     }
 

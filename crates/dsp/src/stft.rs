@@ -5,6 +5,13 @@
 //! bins at or below 5 Hz and normalizes by the maximum value. All of those
 //! operations live here so both the defense and the baselines share one
 //! implementation.
+//!
+//! [`Spectrogram`] stores its `frames x bins` values in one contiguous
+//! row-major buffer with stride metadata. Cropping low-frequency bins is
+//! an `O(1)` metadata update (the column window slides right within each
+//! row), and consumers that walk every value — normalization, 2-D
+//! correlation, feature flattening — traverse a flat slice instead of
+//! chasing one heap allocation per frame.
 
 use crate::complex::Complex;
 use crate::error::DspError;
@@ -78,67 +85,92 @@ impl Stft {
         }
     }
 
-    /// Computes the complex STFT. Frames are zero-padded to the FFT size.
+    /// Computes the complex STFT (frames of `n_fft / 2 + 1` non-negative
+    /// frequency bins). Frames are zero-padded to the FFT size and
+    /// transformed with the planned real-input FFT.
     pub fn complex_spectrogram(&self, signal: &[f32]) -> Vec<Vec<Complex>> {
         let frames = self.frame_count(signal.len());
         let coeffs = self.window.coefficients(self.window_len);
-        let half = self.n_fft / 2 + 1;
+        let mut frame = vec![0.0f32; self.window_len];
         let mut out = Vec::with_capacity(frames);
         for fi in 0..frames {
-            let start = fi * self.hop;
-            let mut buf = vec![Complex::ZERO; self.n_fft];
-            for (i, slot) in buf.iter_mut().take(self.window_len).enumerate() {
-                let idx = start + i;
-                if idx < signal.len() {
-                    *slot = Complex::from_real(signal[idx] * coeffs[i]);
-                }
-            }
-            fft::fft_in_place(&mut buf).expect("n_fft is a power of two");
-            buf.truncate(half);
-            out.push(buf);
+            self.window_frame(signal, fi, &coeffs, &mut frame);
+            let mut spec = Vec::new();
+            fft::half_spectrum_into(&frame, self.n_fft, &mut spec);
+            out.push(spec);
         }
         out
+    }
+
+    /// Fills `frame` with the windowed samples of frame `fi`, zero-padded
+    /// past the end of the signal.
+    fn window_frame(&self, signal: &[f32], fi: usize, coeffs: &[f32], frame: &mut [f32]) {
+        let start = fi * self.hop;
+        for (i, (slot, &c)) in frame.iter_mut().zip(coeffs).enumerate() {
+            *slot = signal.get(start + i).map_or(0.0, |&x| x * c);
+        }
+    }
+
+    /// Shared core of the real spectrogram builders: one contiguous
+    /// buffer, one reused windowed frame, one reused half spectrum.
+    fn spectrogram_with(
+        &self,
+        signal: &[f32],
+        sample_rate: u32,
+        to_value: impl Fn(Complex) -> f32,
+    ) -> Spectrogram {
+        let frames = self.frame_count(signal.len());
+        let bins = if frames == 0 { 0 } else { self.n_fft / 2 + 1 };
+        let coeffs = self.window.coefficients(self.window_len);
+        let mut data = vec![0.0f32; frames * bins];
+        let mut frame = vec![0.0f32; self.window_len];
+        let mut spec = Vec::with_capacity(bins);
+        for fi in 0..frames {
+            self.window_frame(signal, fi, &coeffs, &mut frame);
+            fft::half_spectrum_into(&frame, self.n_fft, &mut spec);
+            for (slot, &c) in data[fi * bins..(fi + 1) * bins].iter_mut().zip(&spec) {
+                *slot = to_value(c);
+            }
+        }
+        Spectrogram {
+            data,
+            frames,
+            stride: bins,
+            col_start: 0,
+            bins,
+            sample_rate,
+            n_fft: self.n_fft,
+            hop: self.hop,
+            first_bin: 0,
+        }
     }
 
     /// Computes the power spectrogram (squared FFT magnitudes), the
     /// vibration-domain feature of the paper.
     pub fn power_spectrogram(&self, signal: &[f32], sample_rate: u32) -> Spectrogram {
-        let complex = self.complex_spectrogram(signal);
-        let data: Vec<Vec<f32>> = complex
-            .into_iter()
-            .map(|frame| frame.into_iter().map(|c| c.norm_sq()).collect())
-            .collect();
-        Spectrogram {
-            data,
-            sample_rate,
-            n_fft: self.n_fft,
-            hop: self.hop,
-            first_bin: 0,
-        }
+        self.spectrogram_with(signal, sample_rate, Complex::norm_sq)
     }
 
     /// Computes the magnitude spectrogram (FFT magnitudes).
     pub fn magnitude_spectrogram(&self, signal: &[f32], sample_rate: u32) -> Spectrogram {
-        let complex = self.complex_spectrogram(signal);
-        let data: Vec<Vec<f32>> = complex
-            .into_iter()
-            .map(|frame| frame.into_iter().map(|c| c.norm()).collect())
-            .collect();
-        Spectrogram {
-            data,
-            sample_rate,
-            n_fft: self.n_fft,
-            hop: self.hop,
-            first_bin: 0,
-        }
+        self.spectrogram_with(signal, sample_rate, Complex::norm)
     }
 }
 
 /// A time–frequency representation: `frames x bins` of non-negative
 /// values, annotated with enough metadata to recover physical axes.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Values live in one row-major buffer; `stride` is the allocated row
+/// width and `col_start` the offset of the first visible bin, so
+/// [`Spectrogram::crop_low_frequencies`] never moves data. Rows are
+/// exposed as slices via [`Spectrogram::rows`] / [`Spectrogram::row`].
+#[derive(Debug, Clone)]
 pub struct Spectrogram {
-    data: Vec<Vec<f32>>,
+    data: Vec<f32>,
+    frames: usize,
+    stride: usize,
+    col_start: usize,
+    bins: usize,
     sample_rate: u32,
     n_fft: usize,
     hop: usize,
@@ -146,20 +178,67 @@ pub struct Spectrogram {
     first_bin: usize,
 }
 
+impl PartialEq for Spectrogram {
+    /// Compares the *visible* values and axis metadata, so a cropped
+    /// spectrogram equals one built directly at the cropped size.
+    fn eq(&self, other: &Self) -> bool {
+        self.frames == other.frames
+            && self.bins == other.bins
+            && self.sample_rate == other.sample_rate
+            && self.n_fft == other.n_fft
+            && self.hop == other.hop
+            && self.first_bin == other.first_bin
+            && self.rows().eq(other.rows())
+    }
+}
+
 impl Spectrogram {
     /// Number of time frames.
     pub fn frames(&self) -> usize {
-        self.data.len()
+        self.frames
     }
 
     /// Number of frequency bins per frame.
     pub fn bins(&self) -> usize {
-        self.data.first().map_or(0, Vec::len)
+        self.bins
     }
 
-    /// Raw feature rows (`frames x bins`).
-    pub fn rows(&self) -> &[Vec<f32>] {
-        &self.data
+    /// Feature row (visible bins) of frame `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.frames()`.
+    pub fn row(&self, t: usize) -> &[f32] {
+        let start = t * self.stride + self.col_start;
+        &self.data[start..start + self.bins]
+    }
+
+    /// Iterates over the feature rows (`frames` slices of `bins` values).
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + Clone {
+        let stride = self.stride.max(1);
+        self.data
+            .chunks(stride)
+            .take(self.frames)
+            .map(move |r| &r[self.col_start..self.col_start + self.bins])
+    }
+
+    /// The visible values as one flat row-major slice, available when no
+    /// bins have been cropped (`col_start == 0`, full-width rows).
+    fn flat(&self) -> Option<&[f32]> {
+        (self.col_start == 0 && self.bins == self.stride).then_some(&self.data[..])
+    }
+
+    /// Visits every visible value mutably.
+    fn for_each_value_mut(&mut self, mut f: impl FnMut(&mut f32)) {
+        if self.col_start == 0 && self.bins == self.stride {
+            self.data.iter_mut().for_each(f);
+            return;
+        }
+        for chunk in self.data.chunks_mut(self.stride.max(1)).take(self.frames) {
+            chunk[self.col_start..self.col_start + self.bins]
+                .iter_mut()
+                .for_each(&mut f);
+        }
     }
 
     /// Frequency in Hz of retained bin `b`.
@@ -174,30 +253,30 @@ impl Spectrogram {
 
     /// The largest value in the spectrogram (0 for an empty one).
     pub fn max_value(&self) -> f32 {
-        self.data
-            .iter()
-            .flat_map(|r| r.iter())
-            .fold(0.0f32, |acc, &v| acc.max(v))
+        if let Some(flat) = self.flat() {
+            return flat.iter().fold(0.0f32, |acc, &v| acc.max(v));
+        }
+        self.rows().flatten().fold(0.0f32, |acc, &v| acc.max(v))
     }
 
     /// Removes all bins whose center frequency is `<= cutoff_hz`.
     ///
     /// The paper crops everything at or below 5 Hz to suppress the
     /// accelerometer's low-frequency sensitivity artifact and body-motion
-    /// interference (Sec. VI-B, Fig. 7).
+    /// interference (Sec. VI-B, Fig. 7). With the strided layout this is
+    /// a metadata update — no data moves.
     pub fn crop_low_frequencies(&mut self, cutoff_hz: f32) {
         let bin_hz = self.sample_rate as f32 / self.n_fft as f32;
         let mut drop = 0usize;
         while (self.first_bin + drop) as f32 * bin_hz <= cutoff_hz {
             drop += 1;
-            if drop > self.bins() {
+            if drop > self.bins {
                 break;
             }
         }
-        let drop = drop.min(self.bins());
-        for row in &mut self.data {
-            row.drain(..drop);
-        }
+        let drop = drop.min(self.bins);
+        self.col_start += drop;
+        self.bins -= drop;
         self.first_bin += drop;
     }
 
@@ -207,46 +286,41 @@ impl Spectrogram {
     pub fn normalize_by_max(&mut self) {
         let max = self.max_value();
         if max > 0.0 {
-            for row in &mut self.data {
-                for v in row {
-                    *v /= max;
-                }
-            }
+            self.for_each_value_mut(|v| *v /= max);
         }
     }
 
     /// Applies log compression `v <- ln(v + floor)` to every value.
     /// `floor` guards against `ln(0)` and sets the dynamic-range bottom.
     pub fn log_compress(&mut self, floor: f32) {
-        for row in &mut self.data {
-            for v in row {
-                *v = (*v + floor).ln();
-            }
-        }
+        self.for_each_value_mut(|v| *v = (*v + floor).ln());
     }
 
     /// Flattens the first `n_frames` frames into one vector
     /// (frame-major). Used to compare two spectrograms over their common
     /// time support.
     pub fn flatten_frames(&self, n_frames: usize) -> Vec<f32> {
-        self.data
-            .iter()
-            .take(n_frames)
-            .flat_map(|r| r.iter().copied())
-            .collect()
+        let take = n_frames.min(self.frames);
+        if let Some(flat) = self.flat() {
+            return flat[..take * self.stride].to_vec();
+        }
+        let mut out = Vec::with_capacity(take * self.bins);
+        for t in 0..take {
+            out.extend_from_slice(self.row(t));
+        }
+        out
     }
 
     /// Mean value per bin across all frames (the "average FFT magnitude"
     /// curves of paper Figs. 3, 4 and 6 are built from this).
     pub fn mean_per_bin(&self) -> Vec<f32> {
-        let bins = self.bins();
-        let mut acc = vec![0.0f32; bins];
-        for row in &self.data {
+        let mut acc = vec![0.0f32; self.bins];
+        for row in self.rows() {
             for (a, &v) in acc.iter_mut().zip(row) {
                 *a += v;
             }
         }
-        let n = self.frames().max(1) as f32;
+        let n = self.frames.max(1) as f32;
         for a in &mut acc {
             *a /= n;
         }
@@ -299,6 +373,23 @@ mod tests {
     }
 
     #[test]
+    fn crop_is_a_view_change_rows_stay_consistent() {
+        let fs = 200u32;
+        let sig = gen::sine(25.0, 1.0, fs, 1.0);
+        let mut spec = Stft::vibration_default().power_spectrogram(&sig, fs);
+        let before: Vec<Vec<f32>> = spec.rows().map(|r| r.to_vec()).collect();
+        spec.crop_low_frequencies(5.0);
+        assert_eq!(spec.rows().len(), before.len());
+        for (t, row) in spec.rows().enumerate() {
+            assert_eq!(row, &before[t][2..], "frame {t}");
+            assert_eq!(row, spec.row(t));
+        }
+        // Values survive a mutation pass over the cropped view too.
+        spec.normalize_by_max();
+        assert!((spec.max_value() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn normalize_by_max_bounds_values() {
         let fs = 200u32;
         let sig = gen::sine(25.0, 3.0, fs, 1.0);
@@ -325,5 +416,14 @@ mod tests {
         let spec = Stft::vibration_default().power_spectrogram(&vec![0.1; 256], 200);
         let flat = spec.flatten_frames(2);
         assert_eq!(flat.len(), 2 * spec.bins());
+    }
+
+    #[test]
+    fn empty_signal_yields_empty_spectrogram() {
+        let spec = Stft::vibration_default().power_spectrogram(&[], 200);
+        assert_eq!(spec.frames(), 0);
+        assert_eq!(spec.bins(), 0);
+        assert_eq!(spec.max_value(), 0.0);
+        assert_eq!(spec.rows().len(), 0);
     }
 }

@@ -1,10 +1,53 @@
 //! Property-based tests for the DSP substrate.
 
 use proptest::prelude::*;
-use thrubarrier_dsp::{complex::Complex, correlate, fft, resample, stats, stft::Stft, window::WindowKind};
+use thrubarrier_dsp::{
+    complex::Complex, correlate, fft, resample, stats, stft::Stft, window::WindowKind,
+};
 
 fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-1.0f32..1.0, 1..max_len)
+}
+
+/// The pre-plan FFT the crate shipped with: per-stage twiddle recurrence
+/// (`w *= wlen`) instead of precomputed tables. Kept here verbatim as a
+/// behavioural reference for the planned engine.
+fn legacy_fft(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0f32 } else { -1.0f32 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f32::consts::TAU / len as f32;
+        let wlen = Complex::from_polar(1.0, ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let a = buf[start + k];
+                let b = buf[start + k + half] * w;
+                buf[start + k] = a + b;
+                buf[start + k + half] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        for v in buf.iter_mut() {
+            *v = v.scale(1.0 / n as f32);
+        }
+    }
 }
 
 proptest! {
@@ -170,5 +213,88 @@ proptest! {
     fn db_amplitude_roundtrip(db in -80.0f32..40.0) {
         let amp = stats::db_to_amplitude(db);
         prop_assert!((stats::amplitude_to_db(amp) - db).abs() < 1e-3);
+    }
+
+    #[test]
+    fn planned_fft_matches_legacy_recurrence_fft(
+        exp in 0usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = 1usize << exp; // power-of-two sizes up to 2048
+        let inverse = seed % 2 == 0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut planned: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut legacy = planned.clone();
+        if inverse {
+            fft::ifft_in_place(&mut planned).unwrap();
+        } else {
+            fft::fft_in_place(&mut planned).unwrap();
+        }
+        legacy_fft(&mut legacy, inverse);
+        let scale = legacy
+            .iter()
+            .map(|c| c.norm())
+            .fold(1e-6f32, f32::max);
+        for (p, l) in planned.iter().zip(&legacy) {
+            // The legacy recurrence drifts; the planned tables are exact
+            // per entry, so the gap is bounded by the recurrence error.
+            prop_assert!((*p - *l).norm() / scale < 2e-3);
+        }
+    }
+
+    #[test]
+    fn response_curve_matches_direct_closure_filter(
+        sig in signal_strategy(512),
+        cutoff in 100.0f32..7_000.0,
+    ) {
+        use thrubarrier_dsp::response;
+        let direct = fft::apply_frequency_response(&sig, 16_000, |f| {
+            if f < cutoff { 1.0 } else { (cutoff / f).powi(2) }
+        });
+        let key = response::curve_key(0x5052_4F50, &[cutoff]);
+        let cached = response::filter_cached(key, &sig, 16_000, move |f| {
+            if f < cutoff { 1.0 } else { (cutoff / f).powi(2) }
+        });
+        prop_assert_eq!(direct.len(), cached.len());
+        for (d, c) in direct.iter().zip(&cached) {
+            prop_assert!((d - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn contiguous_spectrogram_roundtrips_like_nested_rows(
+        sig in signal_strategy(1_024),
+        crop_hz in 0.0f32..40.0,
+    ) {
+        let stft = Stft::vibration_default();
+        let mut spec = stft.power_spectrogram(&sig, 200);
+        // Snapshot the nested-row view before mutating.
+        let before: Vec<Vec<f32>> = spec.rows().map(<[f32]>::to_vec).collect();
+        spec.crop_low_frequencies(crop_hz);
+        // The crop is a metadata change: every surviving value must equal
+        // the tail of the corresponding pre-crop row.
+        let dropped = before.first().map_or(0, |r| r.len() - spec.bins());
+        for (row, full) in spec.rows().zip(&before) {
+            prop_assert_eq!(row, &full[dropped..]);
+        }
+        // flatten_frames agrees with walking rows() in order.
+        let walked: Vec<f32> = spec.rows().flatten().copied().collect();
+        prop_assert_eq!(spec.flatten_frames(spec.frames()), walked);
+        // normalize_by_max scales every visible value by the same factor.
+        let max = spec.max_value();
+        let mut normed = spec.clone();
+        normed.normalize_by_max();
+        if max > 0.0 {
+            for (r, n) in spec.rows().zip(normed.rows()) {
+                for (&a, &b) in r.iter().zip(n) {
+                    prop_assert!((a / max - b).abs() < 1e-6);
+                }
+            }
+        } else {
+            prop_assert_eq!(spec, normed);
+        }
     }
 }

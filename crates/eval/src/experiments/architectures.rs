@@ -273,11 +273,11 @@ mod tests {
     #[test]
     fn both_architectures_learn_the_task() {
         let study = run(&ArchitectureStudyConfig {
+            seed: 3,
             corpus_size: 20,
             test_size: 8,
             hidden: 12,
-            epochs: 2,
-            ..Default::default()
+            epochs: 3,
         });
         assert_eq!(study.rows.len(), 2);
         for r in &study.rows {

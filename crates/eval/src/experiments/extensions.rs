@@ -134,8 +134,7 @@ pub fn run_material_feasibility(cfg: &ExtensionConfig) -> Vec<(BarrierMaterial, 
             // distance (loudspeaker differences are second-order here).
             direct_trial.va_recording = ctx_direct.legitimate_trial().va_recording;
             let drop_db = 20.0
-                * (through.va_recording.rms() / direct_trial.va_recording.rms().max(1e-9))
-                    .log10();
+                * (through.va_recording.rms() / direct_trial.va_recording.rms().max(1e-9)).log10();
             (material, drop_db)
         })
         .collect()
@@ -232,10 +231,7 @@ mod tests {
         let still = rows[0].metrics.auc;
         let walking = rows[2].metrics.auc;
         // The crop + high-pass keep the degradation bounded.
-        assert!(
-            walking > still - 0.15,
-            "walking {walking} vs still {still}"
-        );
+        assert!(walking > still - 0.15, "walking {walking} vs still {still}");
     }
 
     #[test]

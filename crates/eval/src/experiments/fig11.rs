@@ -80,7 +80,11 @@ impl ImpactPanel {
     }
 }
 
-fn base_runner(cfg: &ImpactStudyConfig, settings: Vec<TrialSettings>, kinds: Vec<AttackKind>) -> RunnerConfig {
+fn base_runner(
+    cfg: &ImpactStudyConfig,
+    settings: Vec<TrialSettings>,
+    kinds: Vec<AttackKind>,
+) -> RunnerConfig {
     RunnerConfig {
         seed: cfg.seed,
         participants: scaled(8, cfg.scale.sqrt()).clamp(4, 20),
@@ -112,10 +116,7 @@ fn all_rooms_settings(f: impl Fn(&mut TrialSettings)) -> Vec<TrialSettings> {
 }
 
 /// Fig. 11a: replay-attack EER vs. attack volume, one series per method.
-pub fn run_fig11a(
-    cfg: &ImpactStudyConfig,
-    selector: Arc<dyn SegmentSelector>,
-) -> ImpactPanel {
+pub fn run_fig11a(cfg: &ImpactStudyConfig, selector: Arc<dyn SegmentSelector>) -> ImpactPanel {
     let mut series: Vec<EerSeries> = DefenseMethod::all()
         .into_iter()
         .map(|m| EerSeries {
@@ -170,10 +171,7 @@ fn attack_kind_panel(
 
 /// Fig. 11b: EER by barrier material (wood = rooms B, C; glass = rooms
 /// A, D).
-pub fn run_fig11b(
-    cfg: &ImpactStudyConfig,
-    selector: Arc<dyn SegmentSelector>,
-) -> ImpactPanel {
+pub fn run_fig11b(cfg: &ImpactStudyConfig, selector: Arc<dyn SegmentSelector>) -> ImpactPanel {
     let wood: Vec<TrialSettings> = all_rooms_settings(|_| {})
         .into_iter()
         .filter(|t| !t.room.barrier.material.is_glass())
@@ -194,10 +192,7 @@ pub fn run_fig11b(
 /// barrier-to-wearable fixed at 2 m). The legitimate user stands at the
 /// same distance from the VA, reproducing the paper's observation that
 /// 5 m slightly degrades the user's own recordings.
-pub fn run_fig11c(
-    cfg: &ImpactStudyConfig,
-    selector: Arc<dyn SegmentSelector>,
-) -> ImpactPanel {
+pub fn run_fig11c(cfg: &ImpactStudyConfig, selector: Arc<dyn SegmentSelector>) -> ImpactPanel {
     let conditions = [3.0f32, 4.0, 5.0]
         .into_iter()
         .map(|d| {
@@ -218,10 +213,7 @@ pub fn run_fig11c(
 }
 
 /// Fig. 11d: EER by room environment.
-pub fn run_fig11d(
-    cfg: &ImpactStudyConfig,
-    selector: Arc<dyn SegmentSelector>,
-) -> ImpactPanel {
+pub fn run_fig11d(cfg: &ImpactStudyConfig, selector: Arc<dyn SegmentSelector>) -> ImpactPanel {
     let conditions = RoomId::all()
         .into_iter()
         .map(|room| {

@@ -104,8 +104,7 @@ pub fn run(cfg: &BarrierEffectConfig) -> BarrierEffectStudy {
         .phonemes
         .iter()
         .map(|sym| {
-            let id = Inventory::by_symbol(sym)
-                .unwrap_or_else(|| panic!("unknown phoneme {sym}"));
+            let id = Inventory::by_symbol(sym).unwrap_or_else(|| panic!("unknown phoneme {sym}"));
             let sounds = phoneme_samples(&synth, id, cfg.samples_per_phoneme, &panel, &mut rng);
             let mut before_acc = vec![0.0f32; n_fft / 2 + 1];
             let mut after_acc = vec![0.0f32; n_fft / 2 + 1];
@@ -147,8 +146,9 @@ pub fn run(cfg: &BarrierEffectConfig) -> BarrierEffectStudy {
 fn accumulate_padded_magnitude(acc: &mut [f32], signal: &[f32], n_fft: usize) {
     // Welch-average the magnitude over n_fft-sized chunks so segment
     // duration does not scale the curve.
-    let stft = thrubarrier_dsp::Stft::new(n_fft, n_fft / 2, thrubarrier_dsp::window::WindowKind::Hann)
-        .expect("n_fft >= 2");
+    let stft =
+        thrubarrier_dsp::Stft::new(n_fft, n_fft / 2, thrubarrier_dsp::window::WindowKind::Hann)
+            .expect("n_fft >= 2");
     let spec = stft.magnitude_spectrogram(signal, 16_000);
     let mean = spec.mean_per_bin();
     for (a, m) in acc.iter_mut().zip(mean) {
@@ -244,7 +244,10 @@ mod tests {
         let low_keep = ae.after_band_mean(80.0, 500.0) / ae.before_band_mean(80.0, 500.0);
         let high_keep =
             ae.after_band_mean(1_000.0, 3_000.0) / ae.before_band_mean(1_000.0, 3_000.0).max(1e-9);
-        assert!(low_keep > 2.0 * high_keep, "low {low_keep} vs high {high_keep}");
+        assert!(
+            low_keep > 2.0 * high_keep,
+            "low {low_keep} vs high {high_keep}"
+        );
     }
 
     #[test]

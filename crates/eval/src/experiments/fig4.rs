@@ -45,8 +45,7 @@ pub fn run(cfg: &BarrierEffectConfig) -> VibrationEffectStudy {
         .phonemes
         .iter()
         .map(|sym| {
-            let id = Inventory::by_symbol(sym)
-                .unwrap_or_else(|| panic!("unknown phoneme {sym}"));
+            let id = Inventory::by_symbol(sym).unwrap_or_else(|| panic!("unknown phoneme {sym}"));
             let raw = phoneme_samples(&synth, id, cfg.samples_per_phoneme, &panel, &mut rng);
             let mut before_acc = vec![0.0f32; n_fft / 2 + 1];
             let mut after_acc = vec![0.0f32; n_fft / 2 + 1];

@@ -70,7 +70,13 @@ impl ChirpStudy {
         out.push_str("per-band mean power: ");
         let spec = &r.spectrogram;
         let mean = spec.mean_per_bin();
-        for (lo, hi) in [(0.0, 5.0), (5.0, 25.0), (25.0, 50.0), (50.0, 75.0), (75.0, 100.1)] {
+        for (lo, hi) in [
+            (0.0, 5.0),
+            (5.0, 25.0),
+            (25.0, 50.0),
+            (50.0, 75.0),
+            (75.0, 100.1),
+        ] {
             let vals: Vec<f32> = mean
                 .iter()
                 .enumerate()

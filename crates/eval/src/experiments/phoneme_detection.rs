@@ -167,7 +167,11 @@ mod tests {
             hidden: 24,
             ..Default::default()
         });
-        assert!(result.accuracy_clear > 0.75, "clear {}", result.accuracy_clear);
+        assert!(
+            result.accuracy_clear > 0.75,
+            "clear {}",
+            result.accuracy_clear
+        );
         assert!(
             result.accuracy_barrier > 0.6,
             "barrier {}",

@@ -15,7 +15,7 @@ use thrubarrier_acoustics::scene::AcousticPath;
 use thrubarrier_acoustics::va::{VaDevice, VaModel};
 use thrubarrier_attack::{AttackGenerator, AttackKind};
 use thrubarrier_phoneme::command::CommandBank;
-use thrubarrier_phoneme::speaker::{SpeakerProfile, Sex};
+use thrubarrier_phoneme::speaker::{Sex, SpeakerProfile};
 use thrubarrier_phoneme::synth::Synthesizer;
 
 /// Configuration for the attack study.
@@ -93,7 +93,12 @@ pub fn run(cfg: &AttackStudyConfig) -> AttackStudy {
             SpeakerProfile::reference_female(),
         ]
         .iter()
-        .map(|sp| synth.synthesize_command(wake, sp, &mut rng).audio.into_samples())
+        .map(|sp| {
+            synth
+                .synthesize_command(wake, sp, &mut rng)
+                .audio
+                .into_samples()
+        })
         .collect();
         let mut device = VaDevice::paper_device(model, &templates);
         device.enroll_user(victim.f0_hz);
@@ -123,8 +128,7 @@ pub fn run(cfg: &AttackStudyConfig) -> AttackStudy {
                     let mut hits = 0usize;
                     for _ in 0..cfg.attempts {
                         let adversary = SpeakerProfile::random(&mut rng);
-                        let sound =
-                            generator.generate(attack, wake, &victim, &adversary, &mut rng);
+                        let sound = generator.generate(attack, wake, &victim, &adversary, &mut rng);
                         let mut source = sound.samples;
                         let gain = thrubarrier_acoustics::propagation::spl_to_rms(spl)
                             / thrubarrier_dsp::stats::rms(&source).max(1e-9);
@@ -135,9 +139,7 @@ pub fn run(cfg: &AttackStudyConfig) -> AttackStudy {
                             room: room.clone(),
                             through_barrier: true,
                             distance_m: cfg.distance_m,
-                            loudspeaker: sound
-                                .needs_loudspeaker
-                                .then(|| generator.loudspeaker),
+                            loudspeaker: sound.needs_loudspeaker.then_some(generator.loudspeaker),
                         };
                         let incident = {
                             let mut sig = path.transmit_positioned(&source, fs, &mut rng);

@@ -42,7 +42,11 @@ impl RocCurve {
                 let threshold = i as f32 * 0.01;
                 let tdr = fraction_below(attack, threshold);
                 let fdr = fraction_below(legitimate, threshold);
-                RocPoint { threshold, tdr, fdr }
+                RocPoint {
+                    threshold,
+                    tdr,
+                    fdr,
+                }
             })
             .collect();
         RocCurve { points }

@@ -4,11 +4,10 @@
 
 use crate::metrics::RocCurve;
 use crate::runner::ScorePool;
-use serde::Serialize;
 use std::io::{self, Write};
 
 /// One score record as written to CSV.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoreRecord {
     /// `legitimate` or the attack-kind name.
     pub class: String,
@@ -78,9 +77,10 @@ mod tests {
 
     #[test]
     fn scores_csv_has_all_rows() {
-        let mut pool = ScorePool::default();
-        pool.legitimate = vec![0.9, 0.8];
-        pool.attacks = vec![(AttackKind::Replay, 0.1)];
+        let pool = ScorePool {
+            legitimate: vec![0.9, 0.8],
+            attacks: vec![(AttackKind::Replay, 0.1)],
+        };
         let mut bytes = Vec::new();
         write_scores_csv(&mut bytes, &pool).unwrap();
         let text = String::from_utf8(bytes).unwrap();

@@ -5,7 +5,8 @@ use crate::metrics::DetectionMetrics;
 use crate::scenario::{Trial, TrialGenerator, TrialSettings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use std::sync::Arc;
 use thrubarrier_attack::AttackKind;
 use thrubarrier_defense::segmentation::{
@@ -178,8 +179,7 @@ impl Runner {
                 let selection_cfg = SelectionConfig::default();
                 let selection =
                     run_selection(&selection_cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
-                let sensitive: HashSet<PhonemeId> =
-                    selection.selected_ids().into_iter().collect();
+                let sensitive: HashSet<PhonemeId> = selection.selected_ids().into_iter().collect();
                 let symbols = selection.selected_symbols();
                 let synth = Synthesizer::new(crate::scenario::AUDIO_RATE);
                 let corpus = training_corpus(&synth, corpus_size, &panel, &mut rng);
@@ -212,22 +212,31 @@ impl Runner {
                 .iter()
                 .map(|chunk| {
                     let system = &system;
-                    let cfg = cfg;
                     scope.spawn(move || {
                         let generator = TrialGenerator::new();
                         let bank = CommandBank::standard();
+                        let mut utterances = UtteranceCache::default();
                         chunk
                             .iter()
                             .map(|plan| {
-                                let scores =
-                                    execute_plan(plan, cfg, &generator, &bank, system);
+                                let scores = execute_plan(
+                                    plan,
+                                    cfg,
+                                    &generator,
+                                    &bank,
+                                    system,
+                                    &mut utterances,
+                                );
                                 (plan.clone(), scores)
                             })
                             .collect()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
         let mut pools: Vec<(DefenseMethod, ScorePool)> = DefenseMethod::all()
             .into_iter()
@@ -314,12 +323,53 @@ fn participant(seed: u64, i: usize) -> SpeakerProfile {
     SpeakerProfile::random(&mut rng)
 }
 
+/// Seed of participant `user`'s rendition of command `command`, derived
+/// from the master seed only. Keeping it independent of the per-trial
+/// physics seed makes the rendition a pure function of (master seed,
+/// user, command) — which is what lets workers memoize it.
+fn utterance_seed(master_seed: u64, user: usize, command: usize) -> u64 {
+    master_seed
+        .wrapping_mul(0xA24B_AED4_963E_E407)
+        .wrapping_add(((user as u64) << 32) ^ (command as u64) ^ 0x7E57_1E55)
+}
+
+/// Per-worker memo of synthesized command audio. A cell (user, command)
+/// is rendered once per worker and reused by every trial that presents
+/// it — synthesis dominated legitimate-trial cost before this.
+#[derive(Default)]
+struct UtteranceCache {
+    map: HashMap<(usize, usize), Rc<Vec<f32>>>,
+}
+
+impl UtteranceCache {
+    fn get(
+        &mut self,
+        cfg: &RunnerConfig,
+        generator: &TrialGenerator,
+        bank: &CommandBank,
+        user: usize,
+        command: usize,
+    ) -> Rc<Vec<f32>> {
+        let key = (user, command % bank.len());
+        self.map
+            .entry(key)
+            .or_insert_with(|| {
+                let speaker = participant(cfg.seed, user);
+                let cmd = &bank.commands()[key.1];
+                let mut rng = StdRng::seed_from_u64(utterance_seed(cfg.seed, user, key.1));
+                Rc::new(generator.utterance_audio(cmd, &speaker, &mut rng))
+            })
+            .clone()
+    }
+}
+
 fn execute_plan(
     plan: &TrialPlan,
     cfg: &RunnerConfig,
     generator: &TrialGenerator,
     bank: &CommandBank,
     system: &DefenseSystem,
+    utterances: &mut UtteranceCache,
 ) -> [f32; 3] {
     let (trial, seed) = match plan {
         TrialPlan::Legitimate {
@@ -329,11 +379,10 @@ fn execute_plan(
             setting,
         } => {
             let mut rng = StdRng::seed_from_u64(*seed);
-            let speaker = participant(cfg.seed, *user);
-            let cmd = &bank.commands()[*command % bank.len()];
+            let utterance = utterances.get(cfg, generator, bank, *user, *command);
             let settings = &cfg.settings[*setting];
             (
-                generator.legitimate(cmd, &speaker, settings, &mut rng),
+                generator.legitimate_with_utterance(&utterance, settings, &mut rng),
                 *seed,
             )
         }
@@ -432,6 +481,50 @@ mod tests {
             a.pool(DefenseMethod::Full).attack_scores(),
             b.pool(DefenseMethod::Full).attack_scores()
         );
+    }
+
+    #[test]
+    fn utterance_memo_leaves_scores_unchanged() {
+        // Different thread counts give the per-worker caches different
+        // hit/miss patterns; identical score multisets prove the memo
+        // hands back exactly what fresh synthesis would.
+        let mut one = tiny_config();
+        one.threads = 1;
+        let mut four = tiny_config();
+        four.threads = 4;
+        let a = Runner::new(one).run();
+        let b = Runner::new(four).run();
+        let sorted = |mut v: Vec<f32>| {
+            v.sort_by(f32::total_cmp);
+            v
+        };
+        for (m, pool) in &a.pools {
+            assert_eq!(
+                sorted(pool.legitimate.clone()),
+                sorted(b.pool(*m).legitimate.clone())
+            );
+            assert_eq!(
+                sorted(pool.attack_scores()),
+                sorted(b.pool(*m).attack_scores())
+            );
+        }
+    }
+
+    #[test]
+    fn utterance_cache_is_a_pure_synthesis_memo() {
+        let cfg = tiny_config();
+        let generator = TrialGenerator::new();
+        let bank = CommandBank::standard();
+        let mut cache = UtteranceCache::default();
+        let warm = cache.get(&cfg, &generator, &bank, 1, 1);
+        let fresh = {
+            let speaker = participant(cfg.seed, 1);
+            let mut rng = StdRng::seed_from_u64(utterance_seed(cfg.seed, 1, 1));
+            generator.utterance_audio(&bank.commands()[1], &speaker, &mut rng)
+        };
+        assert_eq!(*warm, fresh);
+        let again = cache.get(&cfg, &generator, &bank, 1, 1);
+        assert!(Rc::ptr_eq(&warm, &again), "second lookup must be a hit");
     }
 
     #[test]

@@ -111,10 +111,38 @@ impl TrialGenerator {
         rng: &mut R,
     ) -> Trial {
         let utterance = self.synth.synthesize_command(command, speaker, rng);
+        self.legitimate_with_utterance(utterance.audio.samples(), settings, rng)
+    }
+
+    /// Synthesizes `speaker`'s rendition of `command` at unit speech
+    /// level. The result can be fed to
+    /// [`TrialGenerator::legitimate_with_utterance`] any number of times,
+    /// which is how the runner memoizes per-(speaker, command) audio.
+    pub fn utterance_audio<R: Rng + ?Sized>(
+        &self,
+        command: &Command,
+        speaker: &SpeakerProfile,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        self.synth
+            .synthesize_command(command, speaker, rng)
+            .audio
+            .into_samples()
+    }
+
+    /// Like [`TrialGenerator::legitimate`] but with a pre-synthesized
+    /// utterance; `rng` drives only the trial physics (propagation,
+    /// noise, trigger delay).
+    pub fn legitimate_with_utterance<R: Rng + ?Sized>(
+        &self,
+        utterance: &[f32],
+        settings: &TrialSettings,
+        rng: &mut R,
+    ) -> Trial {
         let gain = speech_gain_for_spl(settings.user_spl_db);
-        let source = utterance.audio.scaled(gain);
+        let source: Vec<f32> = utterance.iter().map(|&v| v * gain).collect();
         let (va, wearable) = self.record_pair(
-            source.samples(),
+            &source,
             AcousticPath::direct(settings.room.clone(), settings.user_to_va_m),
             AcousticPath::direct(settings.room.clone(), settings.mouth_to_wearable_m),
             rng,

@@ -75,7 +75,12 @@ impl Dense {
                 y
             })
             .collect();
-        (outs, DenseCache { inputs: xs.to_vec() })
+        (
+            outs,
+            DenseCache {
+                inputs: xs.to_vec(),
+            },
+        )
     }
 
     /// Backpropagates per-frame output gradients, accumulating parameter
@@ -140,9 +145,9 @@ mod tests {
             assert!((analytic - numeric).abs() < 1e-2, "w[{k}]");
         }
         // Input gradient = column sums of W for unit output gradient.
-        for j in 0..3 {
+        for (j, &dx) in dxs[0].iter().enumerate().take(3) {
             let expected = layer.w.value.get(0, j) + layer.w.value.get(1, j);
-            assert!((dxs[0][j] - expected).abs() < 1e-5);
+            assert!((dx - expected).abs() < 1e-5);
         }
     }
 

@@ -212,7 +212,8 @@ impl BiGru {
         let t_len = xs.len();
         let out = (0..t_len)
             .map(|t| {
-                hf[t].iter()
+                hf[t]
+                    .iter()
                     .zip(&hb[t_len - 1 - t])
                     .map(|(a, b)| a + b)
                     .collect()

@@ -94,8 +94,8 @@ mod tests {
             up[k] += eps;
             let mut down = logits.clone();
             down[k] -= eps;
-            let numeric = (softmax_cross_entropy(&up, 1).0 - softmax_cross_entropy(&down, 1).0)
-                / (2.0 * eps);
+            let numeric =
+                (softmax_cross_entropy(&up, 1).0 - softmax_cross_entropy(&down, 1).0) / (2.0 * eps);
             assert!((dl[k] - numeric).abs() < 1e-3, "logit {k}");
         }
     }

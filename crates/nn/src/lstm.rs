@@ -74,7 +74,7 @@ impl Lstm {
     /// Returns a message when the shapes are inconsistent.
     pub fn from_weights(w: Matrix, u: Matrix, b: Matrix) -> Result<Self, String> {
         let four_h = w.rows();
-        if four_h == 0 || four_h % 4 != 0 {
+        if four_h == 0 || !four_h.is_multiple_of(4) {
             return Err(format!("gate dimension {four_h} is not 4*H"));
         }
         let hidden_size = four_h / 4;
@@ -125,10 +125,7 @@ impl Lstm {
             assert_eq!(x.len(), self.input_size, "input dimension mismatch");
             let mut z = self.w.value.matvec(x);
             let zu = self.u.value.matvec(&h);
-            for (a, (b, &bias)) in z
-                .iter_mut()
-                .zip(zu.iter().zip(self.b.value.data()))
-            {
+            for (a, (b, &bias)) in z.iter_mut().zip(zu.iter().zip(self.b.value.data())) {
                 *a += b + bias;
             }
             let mut gi = vec![0.0f32; hs_len];
@@ -265,7 +262,13 @@ impl BiLstm {
             }
             out.push(h);
         }
-        (out, BiLstmCache { fwd: cache_f, bwd: cache_b })
+        (
+            out,
+            BiLstmCache {
+                fwd: cache_f,
+                bwd: cache_b,
+            },
+        )
     }
 
     /// Backpropagates through both directions, accumulating parameter
@@ -287,10 +290,7 @@ impl BiLstm {
     /// All trainable parameters of both directions.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         let (f, b) = (&mut self.fwd, &mut self.bwd);
-        vec![
-            &mut f.w, &mut f.u, &mut f.b,
-            &mut b.w, &mut b.u, &mut b.b,
-        ]
+        vec![&mut f.w, &mut f.u, &mut f.b, &mut b.w, &mut b.u, &mut b.b]
     }
 }
 
@@ -444,19 +444,11 @@ mod tests {
         b[5] = vec![0.9, -0.9];
         let (ha, _) = bi.forward(&a);
         let (hb, _) = bi.forward(&b);
-        let d0: f32 = ha[0]
-            .iter()
-            .zip(&hb[0])
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let d0: f32 = ha[0].iter().zip(&hb[0]).map(|(x, y)| (x - y).abs()).sum();
         assert!(d0 > 1e-4, "bidirectional output at t=0 ignored the future");
         let (fa, _) = bi.fwd.forward(&a);
         let (fb, _) = bi.fwd.forward(&b);
-        let df: f32 = fa[0]
-            .iter()
-            .zip(&fb[0])
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let df: f32 = fa[0].iter().zip(&fb[0]).map(|(x, y)| (x - y).abs()).sum();
         assert!(df < 1e-7, "forward LSTM at t=0 cannot depend on the future");
     }
 

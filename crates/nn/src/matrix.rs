@@ -43,7 +43,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "inconsistent row lengths");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Xavier/Glorot-uniform initialization: entries uniform in

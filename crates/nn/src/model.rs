@@ -61,10 +61,7 @@ impl BrnnClassifier {
 
     /// Per-frame class probabilities.
     pub fn predict_proba(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        self.logits(xs)
-            .iter()
-            .map(|l| loss::softmax(l))
-            .collect()
+        self.logits(xs).iter().map(|l| loss::softmax(l)).collect()
     }
 
     /// Per-frame argmax class predictions.
@@ -269,7 +266,11 @@ mod tests {
         }
         // Accuracy must be high *including the early frames*, which
         // requires propagating the late spike backwards.
-        assert!(model.accuracy(&data) > 0.95, "acc {}", model.accuracy(&data));
+        assert!(
+            model.accuracy(&data) > 0.95,
+            "acc {}",
+            model.accuracy(&data)
+        );
     }
 
     #[test]
@@ -287,7 +288,9 @@ mod tests {
         let xs = vec![vec![0.0, 0.0]; 5];
         assert_eq!(model.predict(&xs).len(), 5);
         let probs = model.predict_proba(&xs);
-        assert!(probs.iter().all(|p| (p.iter().sum::<f32>() - 1.0).abs() < 1e-5));
+        assert!(probs
+            .iter()
+            .all(|p| (p.iter().sum::<f32>() - 1.0).abs() < 1e-5));
     }
 
     #[test]

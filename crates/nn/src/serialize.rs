@@ -115,8 +115,7 @@ impl BrnnClassifier {
         let mats: Vec<Matrix> = (0..count)
             .map(|_| read_matrix(&mut r))
             .collect::<Result<_, _>>()?;
-        BrnnClassifier::from_parameter_matrices(mats)
-            .map_err(SerializeError::Format)
+        BrnnClassifier::from_parameter_matrices(mats).map_err(SerializeError::Format)
     }
 }
 

@@ -61,28 +61,91 @@ impl CommandBank {
             cmd!("alexa", ["ah", "l", "ae", "k", "s", "ah"]),
             cmd!("ok google", ["ow", "k", "ey", "g", "uw", "g", "ah", "l"]),
             cmd!("hey siri", ["hh", "ey", "s", "ih", "r", "iy"]),
-            cmd!("turn on the lights", ["t", "er", "n", "aa", "n", "dh", "ah", "l", "ay", "t", "s"]),
-            cmd!("what's the weather", ["w", "ah", "t", "s", "dh", "ah", "w", "ae", "dh", "er"]),
-            cmd!("unlock the door", ["ah", "n", "l", "aa", "k", "dh", "ah", "d", "ao", "r"]),
-            cmd!("play music", ["p", "l", "ey", "m", "y", "uw", "z", "ih", "k"]),
-            cmd!("set an alarm", ["s", "ae", "t", "ae", "n", "ah", "l", "aa", "r", "m"]),
+            cmd!(
+                "turn on the lights",
+                ["t", "er", "n", "aa", "n", "dh", "ah", "l", "ay", "t", "s"]
+            ),
+            cmd!(
+                "what's the weather",
+                ["w", "ah", "t", "s", "dh", "ah", "w", "ae", "dh", "er"]
+            ),
+            cmd!(
+                "unlock the door",
+                ["ah", "n", "l", "aa", "k", "dh", "ah", "d", "ao", "r"]
+            ),
+            cmd!(
+                "play music",
+                ["p", "l", "ey", "m", "y", "uw", "z", "ih", "k"]
+            ),
+            cmd!(
+                "set an alarm",
+                ["s", "ae", "t", "ae", "n", "ah", "l", "aa", "r", "m"]
+            ),
             cmd!("stop", ["s", "t", "aa", "p"]),
-            cmd!("turn off the tv", ["t", "er", "n", "ao", "f", "dh", "ah", "t", "iy", "v", "iy"]),
-            cmd!("open the garage", ["ow", "p", "ah", "n", "dh", "ah", "g", "er", "aa", "zh"]),
-            cmd!("what time is it", ["w", "ah", "t", "t", "ay", "m", "ih", "z", "ih", "t"]),
+            cmd!(
+                "turn off the tv",
+                ["t", "er", "n", "ao", "f", "dh", "ah", "t", "iy", "v", "iy"]
+            ),
+            cmd!(
+                "open the garage",
+                ["ow", "p", "ah", "n", "dh", "ah", "g", "er", "aa", "zh"]
+            ),
+            cmd!(
+                "what time is it",
+                ["w", "ah", "t", "t", "ay", "m", "ih", "z", "ih", "t"]
+            ),
             cmd!("call mom", ["k", "ao", "l", "m", "aa", "m"]),
-            cmd!("add milk to my list", ["ae", "d", "m", "ih", "l", "k", "t", "uw", "m", "ay", "l", "ih", "s", "t"]),
-            cmd!("lock the front door", ["l", "aa", "k", "dh", "ah", "f", "r", "ah", "n", "t", "d", "ao", "r"]),
-            cmd!("turn up the volume", ["t", "er", "n", "ah", "p", "dh", "ah", "v", "aa", "l", "y", "uw", "m"]),
-            cmd!("good morning", ["g", "uh", "d", "m", "ao", "r", "n", "ih", "ng"]),
+            cmd!(
+                "add milk to my list",
+                ["ae", "d", "m", "ih", "l", "k", "t", "uw", "m", "ay", "l", "ih", "s", "t"]
+            ),
+            cmd!(
+                "lock the front door",
+                ["l", "aa", "k", "dh", "ah", "f", "r", "ah", "n", "t", "d", "ao", "r"]
+            ),
+            cmd!(
+                "turn up the volume",
+                ["t", "er", "n", "ah", "p", "dh", "ah", "v", "aa", "l", "y", "uw", "m"]
+            ),
+            cmd!(
+                "good morning",
+                ["g", "uh", "d", "m", "ao", "r", "n", "ih", "ng"]
+            ),
             cmd!("set a timer", ["s", "ae", "t", "ah", "t", "ay", "m", "er"]),
-            cmd!("how far is the moon", ["hh", "aw", "f", "aa", "r", "ih", "z", "dh", "ah", "m", "uw", "n"]),
-            cmd!("dim the lights", ["d", "ih", "m", "dh", "ah", "l", "ay", "t", "s"]),
-            cmd!("increase the temperature", ["ih", "n", "k", "r", "iy", "s", "dh", "ah", "t", "ae", "m", "p", "er", "ah", "ch", "er"]),
-            cmd!("read my messages", ["r", "iy", "d", "m", "ay", "m", "ae", "s", "ah", "jh", "ah", "z"]),
-            cmd!("send a text", ["s", "ae", "n", "d", "ah", "t", "ae", "k", "s", "t"]),
-            cmd!("what's on my calendar", ["w", "ah", "t", "s", "aa", "n", "m", "ay", "k", "ae", "l", "ah", "n", "d", "er"]),
-            cmd!("disarm the security system", ["d", "ih", "s", "aa", "r", "m", "dh", "ah", "s", "ah", "k", "y", "uh", "r", "ah", "t", "iy", "s", "ih", "s", "t", "ah", "m"]),
+            cmd!(
+                "how far is the moon",
+                ["hh", "aw", "f", "aa", "r", "ih", "z", "dh", "ah", "m", "uw", "n"]
+            ),
+            cmd!(
+                "dim the lights",
+                ["d", "ih", "m", "dh", "ah", "l", "ay", "t", "s"]
+            ),
+            cmd!(
+                "increase the temperature",
+                [
+                    "ih", "n", "k", "r", "iy", "s", "dh", "ah", "t", "ae", "m", "p", "er", "ah",
+                    "ch", "er"
+                ]
+            ),
+            cmd!(
+                "read my messages",
+                ["r", "iy", "d", "m", "ay", "m", "ae", "s", "ah", "jh", "ah", "z"]
+            ),
+            cmd!(
+                "send a text",
+                ["s", "ae", "n", "d", "ah", "t", "ae", "k", "s", "t"]
+            ),
+            cmd!(
+                "what's on my calendar",
+                ["w", "ah", "t", "s", "aa", "n", "m", "ay", "k", "ae", "l", "ah", "n", "d", "er"]
+            ),
+            cmd!(
+                "disarm the security system",
+                [
+                    "d", "ih", "s", "aa", "r", "m", "dh", "ah", "s", "ah", "k", "y", "uh", "r",
+                    "ah", "t", "iy", "s", "ih", "s", "t", "ah", "m"
+                ]
+            ),
         ];
         CommandBank { commands }
     }
@@ -141,7 +204,11 @@ mod tests {
         let common: HashSet<&str> = TABLE_II.iter().map(|&(s, _)| s).collect();
         for c in CommandBank::standard().commands() {
             for s in c.phoneme_symbols() {
-                assert!(common.contains(s), "{s} in {:?} is not a Table II phoneme", c.text());
+                assert!(
+                    common.contains(s),
+                    "{s} in {:?} is not a Table II phoneme",
+                    c.text()
+                );
             }
         }
     }
@@ -165,7 +232,10 @@ mod tests {
         }
         let t_count = freq["t"];
         let above_t = freq.values().filter(|&&v| v > t_count).count();
-        assert!(above_t <= 2, "t should rank near the top, {above_t} above it");
+        assert!(
+            above_t <= 2,
+            "t should rank near the top, {above_t} above it"
+        );
     }
 
     #[test]

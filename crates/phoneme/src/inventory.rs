@@ -93,15 +93,79 @@ static INVENTORY: &[PhonemeSpec] = &[
     ph!("ax", Vowel, true, [500, 1500, 2500], None, -2.0, (40, 100)),
     ph!("ix", Vowel, true, [400, 1900, 2500], None, -2.0, (40, 100)),
     ph!("axr", Vowel, true, [470, 1400, 1700], None, -1.0, (60, 140)),
-    ph!("ax-h", Vowel, false, [500, 1500, 2500], None, -8.0, (30, 80)),
+    ph!(
+        "ax-h",
+        Vowel,
+        false,
+        [500, 1500, 2500],
+        None,
+        -8.0,
+        (30, 80)
+    ),
     // --- Semivowels / glides / aspirates (7) -----------------------------
-    ph!("l", Semivowel, true, [360, 1300, 2700], None, -3.0, (50, 130)),
-    ph!("r", Semivowel, true, [330, 1060, 1380], None, -3.0, (50, 130)),
-    ph!("w", Semivowel, true, [300, 610, 2200], None, -3.0, (50, 120)),
-    ph!("y", Semivowel, true, [270, 2100, 3000], None, -2.0, (40, 110)),
-    ph!("hh", Semivowel, false, [500, 1500, 2500], Some((400.0, 3_000.0)), -5.0, (40, 110)),
-    ph!("hv", Semivowel, true, [500, 1500, 2500], Some((400.0, 3_000.0)), -5.0, (40, 110)),
-    ph!("el", Semivowel, true, [400, 1200, 2700], None, -4.0, (60, 150)),
+    ph!(
+        "l",
+        Semivowel,
+        true,
+        [360, 1300, 2700],
+        None,
+        -3.0,
+        (50, 130)
+    ),
+    ph!(
+        "r",
+        Semivowel,
+        true,
+        [330, 1060, 1380],
+        None,
+        -3.0,
+        (50, 130)
+    ),
+    ph!(
+        "w",
+        Semivowel,
+        true,
+        [300, 610, 2200],
+        None,
+        -3.0,
+        (50, 120)
+    ),
+    ph!(
+        "y",
+        Semivowel,
+        true,
+        [270, 2100, 3000],
+        None,
+        -2.0,
+        (40, 110)
+    ),
+    ph!(
+        "hh",
+        Semivowel,
+        false,
+        [500, 1500, 2500],
+        Some((400.0, 3_000.0)),
+        -5.0,
+        (40, 110)
+    ),
+    ph!(
+        "hv",
+        Semivowel,
+        true,
+        [500, 1500, 2500],
+        Some((400.0, 3_000.0)),
+        -5.0,
+        (40, 110)
+    ),
+    ph!(
+        "el",
+        Semivowel,
+        true,
+        [400, 1200, 2700],
+        None,
+        -4.0,
+        (60, 150)
+    ),
     // --- Nasals (7) -------------------------------------------------------
     ph!("m", Nasal, true, [280, 900, 2200], None, -2.0, (50, 130)),
     ph!("n", Nasal, true, [280, 1700, 2600], None, -2.0, (50, 130)),
@@ -111,14 +175,78 @@ static INVENTORY: &[PhonemeSpec] = &[
     ph!("eng", Nasal, true, [280, 2300, 2750], None, -4.0, (60, 150)),
     ph!("nx", Nasal, true, [280, 1700, 2600], None, -5.0, (30, 80)),
     // --- Stops (8) ----------------------------------------------------------
-    ph!("b", Stop, true, [400, 1100, 2300], Some((200.0, 2_400.0)), -4.0, (20, 70)),
-    ph!("d", Stop, true, [400, 1700, 2600], Some((1_000.0, 3_500.0)), -3.0, (20, 70)),
-    ph!("g", Stop, true, [300, 1800, 2500], Some((800.0, 3_000.0)), -3.0, (25, 80)),
-    ph!("p", Stop, false, [400, 1100, 2300], Some((400.0, 2_200.0)), -5.0, (25, 90)),
-    ph!("t", Stop, false, [400, 1700, 2600], Some((2_000.0, 6_000.0)), -2.0, (25, 90)),
-    ph!("k", Stop, false, [300, 1800, 2500], Some((1_200.0, 4_200.0)), -4.0, (30, 95)),
-    ph!("dx", Stop, true, [400, 1700, 2600], Some((1_000.0, 3_000.0)), -8.0, (15, 40)),
-    ph!("q", Stop, false, [400, 1200, 2400], Some((100.0, 600.0)), -14.0, (15, 50)),
+    ph!(
+        "b",
+        Stop,
+        true,
+        [400, 1100, 2300],
+        Some((200.0, 2_400.0)),
+        -4.0,
+        (20, 70)
+    ),
+    ph!(
+        "d",
+        Stop,
+        true,
+        [400, 1700, 2600],
+        Some((1_000.0, 3_500.0)),
+        -3.0,
+        (20, 70)
+    ),
+    ph!(
+        "g",
+        Stop,
+        true,
+        [300, 1800, 2500],
+        Some((800.0, 3_000.0)),
+        -3.0,
+        (25, 80)
+    ),
+    ph!(
+        "p",
+        Stop,
+        false,
+        [400, 1100, 2300],
+        Some((400.0, 2_200.0)),
+        -5.0,
+        (25, 90)
+    ),
+    ph!(
+        "t",
+        Stop,
+        false,
+        [400, 1700, 2600],
+        Some((2_000.0, 6_000.0)),
+        -2.0,
+        (25, 90)
+    ),
+    ph!(
+        "k",
+        Stop,
+        false,
+        [300, 1800, 2500],
+        Some((1_200.0, 4_200.0)),
+        -4.0,
+        (30, 95)
+    ),
+    ph!(
+        "dx",
+        Stop,
+        true,
+        [400, 1700, 2600],
+        Some((1_000.0, 3_000.0)),
+        -8.0,
+        (15, 40)
+    ),
+    ph!(
+        "q",
+        Stop,
+        false,
+        [400, 1200, 2400],
+        Some((100.0, 600.0)),
+        -14.0,
+        (15, 50)
+    ),
     // --- Stop closures & pauses (7) --------------------------------------
     ph!("bcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
     ph!("dcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
@@ -128,22 +256,110 @@ static INVENTORY: &[PhonemeSpec] = &[
     ph!("kcl", Silence, false, [0, 0, 0], None, -60.0, (30, 90)),
     ph!("epi", Silence, false, [0, 0, 0], None, -60.0, (20, 70)),
     // --- Affricates (2) ----------------------------------------------------
-    ph!("jh", Affricate, true, [300, 1800, 2500], Some((1_500.0, 5_000.0)), -6.0, (50, 130)),
-    ph!("ch", Affricate, false, [300, 1800, 2500], Some((2_000.0, 5_500.0)), -6.0, (60, 140)),
+    ph!(
+        "jh",
+        Affricate,
+        true,
+        [300, 1800, 2500],
+        Some((1_500.0, 5_000.0)),
+        -6.0,
+        (50, 130)
+    ),
+    ph!(
+        "ch",
+        Affricate,
+        false,
+        [300, 1800, 2500],
+        Some((2_000.0, 5_500.0)),
+        -6.0,
+        (60, 140)
+    ),
     // --- Fricatives (8) ----------------------------------------------------
-    ph!("s", Fricative, false, [300, 1700, 2600], Some((3_500.0, 7_500.0)), -20.0, (70, 170)),
-    ph!("sh", Fricative, false, [300, 1800, 2500], Some((2_000.0, 6_000.0)), -22.0, (70, 170)),
-    ph!("z", Fricative, true, [300, 1700, 2600], Some((3_000.0, 7_000.0)), -20.0, (60, 150)),
-    ph!("zh", Fricative, true, [300, 1800, 2500], Some((2_000.0, 5_500.0)), -10.0, (60, 150)),
-    ph!("f", Fricative, false, [400, 1100, 2300], Some((1_500.0, 7_000.0)), -10.0, (70, 160)),
-    ph!("th", Fricative, false, [400, 1400, 2500], Some((1_400.0, 7_000.0)), -22.0, (60, 150)),
-    ph!("v", Fricative, true, [400, 1100, 2300], Some((500.0, 4_000.0)), -7.0, (40, 110)),
-    ph!("dh", Fricative, true, [400, 1400, 2500], Some((500.0, 4_000.0)), -6.0, (30, 90)),
+    ph!(
+        "s",
+        Fricative,
+        false,
+        [300, 1700, 2600],
+        Some((3_500.0, 7_500.0)),
+        -20.0,
+        (70, 170)
+    ),
+    ph!(
+        "sh",
+        Fricative,
+        false,
+        [300, 1800, 2500],
+        Some((2_000.0, 6_000.0)),
+        -22.0,
+        (70, 170)
+    ),
+    ph!(
+        "z",
+        Fricative,
+        true,
+        [300, 1700, 2600],
+        Some((3_000.0, 7_000.0)),
+        -20.0,
+        (60, 150)
+    ),
+    ph!(
+        "zh",
+        Fricative,
+        true,
+        [300, 1800, 2500],
+        Some((2_000.0, 5_500.0)),
+        -10.0,
+        (60, 150)
+    ),
+    ph!(
+        "f",
+        Fricative,
+        false,
+        [400, 1100, 2300],
+        Some((1_500.0, 7_000.0)),
+        -10.0,
+        (70, 160)
+    ),
+    ph!(
+        "th",
+        Fricative,
+        false,
+        [400, 1400, 2500],
+        Some((1_400.0, 7_000.0)),
+        -22.0,
+        (60, 150)
+    ),
+    ph!(
+        "v",
+        Fricative,
+        true,
+        [400, 1100, 2300],
+        Some((500.0, 4_000.0)),
+        -7.0,
+        (40, 110)
+    ),
+    ph!(
+        "dh",
+        Fricative,
+        true,
+        [400, 1400, 2500],
+        Some((500.0, 4_000.0)),
+        -6.0,
+        (30, 90)
+    ),
     // --- Non-speech markers (4) -------------------------------------------
     ph!("pau", Silence, false, [0, 0, 0], None, -60.0, (50, 300)),
     ph!("h#", Silence, false, [0, 0, 0], None, -60.0, (50, 300)),
     ph!("sil", Silence, false, [0, 0, 0], None, -60.0, (50, 300)),
-    ph!("spn", Silence, false, [0, 0, 0], Some((100.0, 4_000.0)), -30.0, (50, 300)),
+    ph!(
+        "spn",
+        Silence,
+        false,
+        [0, 0, 0],
+        Some((100.0, 4_000.0)),
+        -30.0,
+        (50, 300)
+    ),
 ];
 
 /// Access to the phoneme inventory.
@@ -256,7 +472,10 @@ mod tests {
     #[test]
     fn obstruents_have_noise_bands() {
         for p in Inventory::all() {
-            if matches!(p.class, PhonemeClass::Fricative | PhonemeClass::Affricate | PhonemeClass::Stop) {
+            if matches!(
+                p.class,
+                PhonemeClass::Fricative | PhonemeClass::Affricate | PhonemeClass::Stop
+            ) {
                 let (lo, hi) = p.noise_band.expect("obstruent needs a noise band");
                 assert!(lo < hi, "{}", p.symbol);
                 assert!(hi <= 8_000.0, "{} band above Nyquist", p.symbol);
@@ -276,7 +495,11 @@ mod tests {
     #[test]
     fn durations_are_positive_ranges() {
         for p in Inventory::all() {
-            assert!(p.duration_ms.0 > 0.0 && p.duration_ms.0 <= p.duration_ms.1, "{}", p.symbol);
+            assert!(
+                p.duration_ms.0 > 0.0 && p.duration_ms.0 <= p.duration_ms.1,
+                "{}",
+                p.symbol
+            );
         }
     }
 }

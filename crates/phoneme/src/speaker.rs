@@ -37,7 +37,11 @@ pub struct SpeakerProfile {
 impl SpeakerProfile {
     /// Draws a random speaker (50/50 male/female).
     pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        let sex = if rng.gen_bool(0.5) { Sex::Male } else { Sex::Female };
+        let sex = if rng.gen_bool(0.5) {
+            Sex::Male
+        } else {
+            Sex::Female
+        };
         Self::random_with_sex(sex, rng)
     }
 

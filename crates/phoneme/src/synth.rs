@@ -11,7 +11,7 @@
 use crate::inventory::{Inventory, PhonemeClass, PhonemeId};
 use crate::speaker::SpeakerProfile;
 use rand::Rng;
-use thrubarrier_dsp::{fft, stats, AudioBuffer};
+use thrubarrier_dsp::{stats, AudioBuffer};
 
 /// A labelled span of an [`Utterance`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +61,8 @@ impl Resonator {
     fn new(center_hz: f32, bandwidth_hz: f32, sample_rate: f32) -> Self {
         let t = 1.0 / sample_rate;
         let c = -(-2.0 * std::f32::consts::PI * bandwidth_hz * t).exp();
-        let b = 2.0 * (-std::f32::consts::PI * bandwidth_hz * t).exp()
+        let b = 2.0
+            * (-std::f32::consts::PI * bandwidth_hz * t).exp()
             * (std::f32::consts::TAU * center_hz * t).cos();
         let a = 1.0 - b - c;
         Resonator { a, b, c }
@@ -137,13 +138,19 @@ impl Synthesizer {
                 self.apply_formants(&mut sig, spec.formants, speaker.formant_scale);
                 if spec.class == PhonemeClass::Nasal {
                     // Nasal murmur: attenuation above ~1 kHz.
-                    sig = fft::apply_frequency_response(&sig, self.sample_rate, |f| {
-                        if f < 1_000.0 {
-                            1.0
-                        } else {
-                            (1_000.0 / f).powf(0.4)
-                        }
-                    });
+                    let key = thrubarrier_dsp::response::curve_key(0x4E41_5341, &[]);
+                    sig = thrubarrier_dsp::response::filter_cached(
+                        key,
+                        &sig,
+                        self.sample_rate,
+                        |f| {
+                            if f < 1_000.0 {
+                                1.0
+                            } else {
+                                (1_000.0 / f).powf(0.4)
+                            }
+                        },
+                    );
                 }
                 if spec.voiced {
                     self.add_breathiness(&mut sig, 0.45, rng);
@@ -162,7 +169,11 @@ impl Synthesizer {
                     // Voice bar: low-frequency periodic component under
                     // the frication.
                     let mut buzz = self.voiced_source(n, f0, rng);
-                    self.apply_formants(&mut buzz, [spec.formants[0], 1_100.0, 2_300.0], speaker.formant_scale);
+                    self.apply_formants(
+                        &mut buzz,
+                        [spec.formants[0], 1_100.0, 2_300.0],
+                        speaker.formant_scale,
+                    );
                     mix_scaled(&mut sig, &buzz, 0.7);
                     self.add_breathiness(&mut sig, 0.35, rng);
                 }
@@ -172,19 +183,31 @@ impl Synthesizer {
                 let band = spec.noise_band.expect("stops carry a burst band");
                 // Closure (silence) followed by a decaying burst; the
                 // affricate's frication is longer.
-                let closure_frac = if spec.class == PhonemeClass::Stop { 0.4 } else { 0.3 };
+                let closure_frac = if spec.class == PhonemeClass::Stop {
+                    0.4
+                } else {
+                    0.3
+                };
                 let closure = (n as f32 * closure_frac) as usize;
                 let mut sig = vec![0.0f32; n];
                 let burst_len = n - closure;
                 let burst = self.noise_band(burst_len, band, rng);
-                let decay_rate = if spec.class == PhonemeClass::Stop { 60.0 } else { 15.0 };
+                let decay_rate = if spec.class == PhonemeClass::Stop {
+                    60.0
+                } else {
+                    15.0
+                };
                 for (i, &b) in burst.iter().enumerate() {
                     let t = i as f32 / fs;
                     sig[closure + i] = b * (-decay_rate * t).exp();
                 }
                 if spec.voiced {
                     let mut buzz = self.voiced_source(n, f0, rng);
-                    self.apply_formants(&mut buzz, [300.0, 1_100.0, 2_300.0], speaker.formant_scale);
+                    self.apply_formants(
+                        &mut buzz,
+                        [300.0, 1_100.0, 2_300.0],
+                        speaker.formant_scale,
+                    );
                     mix_scaled(&mut sig, &buzz, 0.4);
                     self.add_breathiness(&mut sig, 0.35, rng);
                 }
@@ -226,7 +249,7 @@ impl Synthesizer {
             // Occasional inter-word-style pauses, as in natural speech.
             if k > 0 && rng.gen_bool(0.3) {
                 let pause = (rng.gen_range(0.05..0.15) * fs as f32) as usize;
-                samples.extend(std::iter::repeat(0.0).take(pause));
+                samples.extend(std::iter::repeat_n(0.0, pause));
             }
             let sound = self.synthesize_phoneme(id, speaker, rng);
             let start = samples.len();
@@ -237,7 +260,7 @@ impl Synthesizer {
                 end: samples.len(),
             });
         }
-        samples.extend(std::iter::repeat(0.0).take(lead));
+        samples.extend(std::iter::repeat_n(0.0, lead));
         Utterance {
             audio: AudioBuffer::new(samples, fs),
             segments,
@@ -294,13 +317,18 @@ impl Synthesizer {
     fn noise_band<R: Rng + ?Sized>(&self, n: usize, (lo, hi): (f32, f32), rng: &mut R) -> Vec<f32> {
         let white = thrubarrier_dsp::gen::gaussian_noise(rng, 1.0, n);
         let roll = 0.2 * (hi - lo);
-        fft::apply_frequency_response(&white, self.sample_rate, move |f| {
+        let key = thrubarrier_dsp::response::curve_key(0x4E42_4E44, &[lo, hi]);
+        thrubarrier_dsp::response::filter_cached(key, &white, self.sample_rate, move |f| {
             if f < lo - roll || f > hi + roll {
                 0.0
             } else if f < lo {
-                0.5 * (1.0 + (std::f32::consts::PI * (f - (lo - roll)) / roll - std::f32::consts::PI).cos())
+                0.5 * (1.0
+                    + (std::f32::consts::PI * (f - (lo - roll)) / roll - std::f32::consts::PI)
+                        .cos())
             } else if f > hi {
-                0.5 * (1.0 + (std::f32::consts::PI * ((hi + roll) - f) / roll - std::f32::consts::PI).cos())
+                0.5 * (1.0
+                    + (std::f32::consts::PI * ((hi + roll) - f) / roll - std::f32::consts::PI)
+                        .cos())
             } else {
                 1.0
             }
@@ -427,8 +455,18 @@ mod tests {
         let s = Synthesizer::new(16_000);
         let id = Inventory::by_symbol("iy").unwrap();
         let mut rng = StdRng::seed_from_u64(9);
-        let m = s.synthesize_phoneme_with_duration(id, &SpeakerProfile::reference_male(), 0.2, &mut rng);
-        let f = s.synthesize_phoneme_with_duration(id, &SpeakerProfile::reference_female(), 0.2, &mut rng);
+        let m = s.synthesize_phoneme_with_duration(
+            id,
+            &SpeakerProfile::reference_male(),
+            0.2,
+            &mut rng,
+        );
+        let f = s.synthesize_phoneme_with_duration(
+            id,
+            &SpeakerProfile::reference_female(),
+            0.2,
+            &mut rng,
+        );
         // F2 of /iy/ is 2290 male -> ~2680 female; compare energy in the
         // 2500-3000 band relative to 2000-2400.
         let m_ratio = band_energy(&m, 16_000.0, 2_500.0, 3_000.0)

@@ -1,7 +1,7 @@
 //! MEMS accelerometer model.
 
 use rand::Rng;
-use thrubarrier_dsp::{fft, resample, stats, AudioBuffer};
+use thrubarrier_dsp::{resample, response, stats, AudioBuffer};
 
 /// Control point of the audio→vibration coupling response.
 type ResponsePoint = (f32, f32); // (frequency Hz, linear gain)
@@ -42,7 +42,7 @@ impl Accelerometer {
             rectification_gain: 1.0,
             anti_alias: false,
             response: vec![
-                (0.0, 1.0),      // DC / body-motion band
+                (0.0, 1.0), // DC / body-motion band
                 (5.0, 1.0),
                 (20.0, 0.04),
                 (100.0, 0.012),
@@ -97,7 +97,8 @@ impl Accelerometer {
     /// Fraction of the coupled signal's energy below `split_hz` — the
     /// quantity that drives readout-noise injection.
     fn low_band_rms(signal: &[f32], sample_rate: u32, split_hz: f32) -> f32 {
-        let low = fft::apply_frequency_response(signal, sample_rate, move |f| {
+        let key = response::curve_key(0x4143_435F_4C4F, &[split_hz]);
+        let low = response::filter_cached(key, signal, sample_rate, move |f| {
             if f <= split_hz {
                 1.0
             } else {
@@ -105,6 +106,13 @@ impl Accelerometer {
             }
         });
         stats::rms(&low)
+    }
+
+    /// Cache key of the coupling-response curve: one table per distinct
+    /// set of control points.
+    fn coupling_curve_key(&self) -> u64 {
+        let params: Vec<f32> = self.response.iter().flat_map(|&(f, g)| [f, g]).collect();
+        response::curve_key(0x4143_435F_4350, &params)
     }
 
     /// Converts an audio-rate vibration excitation into the
@@ -123,9 +131,10 @@ impl Accelerometer {
             return AudioBuffer::empty(self.sample_rate);
         }
         // 1. Mechanical/electrical coupling response.
-        let coupled = fft::apply_frequency_response(excitation, audio_rate, |f| {
-            self.coupling_gain(f)
-        });
+        let coupled =
+            response::filter_cached(self.coupling_curve_key(), excitation, audio_rate, |f| {
+                self.coupling_gain(f)
+            });
 
         // 2. Rectification leakage: the energy envelope (low-passed |x|²)
         //    leaks into the 0–5 Hz band. Two cascaded one-pole low-passes
@@ -146,11 +155,9 @@ impl Accelerometer {
         //    the ablation study.
         let factor = (audio_rate / self.sample_rate).max(1) as usize;
         let mut sampled = if self.anti_alias {
-            resample::decimate(&mixed, factor, audio_rate)
-                .expect("factor >= 1 by construction")
+            resample::decimate(&mixed, factor, audio_rate).expect("factor >= 1 by construction")
         } else {
-            resample::decimate_aliased(&mixed, factor)
-                .expect("factor >= 1 by construction")
+            resample::decimate_aliased(&mixed, factor).expect("factor >= 1 by construction")
         };
 
         // 4. Level-dependent readout noise: driven by the *pre-coupling*
@@ -172,9 +179,10 @@ impl Accelerometer {
     /// Signal-to-injected-noise ratio the sensor would achieve for a
     /// given excitation — a diagnostic used by tests and ablations.
     pub fn conversion_snr_db(&self, excitation: &[f32], audio_rate: u32) -> f32 {
-        let coupled = fft::apply_frequency_response(excitation, audio_rate, |f| {
-            self.coupling_gain(f)
-        });
+        let coupled =
+            response::filter_cached(self.coupling_curve_key(), excitation, audio_rate, |f| {
+                self.coupling_gain(f)
+            });
         let signal_rms = stats::rms(&coupled);
         let low_rms = Self::low_band_rms(excitation, audio_rate, 500.0);
         let noise_std = self.low_freq_noise_coeff * low_rms * 0.05 + self.noise_floor;

@@ -33,9 +33,7 @@ pub fn chirp_response<R: Rng + ?Sized>(
 ) -> ChirpResponse {
     let audio_rate = 16_000u32;
     let chirp = thrubarrier_dsp::gen::chirp(f0, f1, amplitude, audio_rate, duration);
-    let vib = wearable
-        .accelerometer
-        .capture(&chirp, audio_rate, rng);
+    let vib = wearable.accelerometer.capture(&chirp, audio_rate, rng);
     let stft = Stft::vibration_default();
     let spectrogram = stft.power_spectrogram(vib.samples(), vib.sample_rate());
     let mut low = 0.0f64;

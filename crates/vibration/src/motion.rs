@@ -42,7 +42,11 @@ impl BodyMotion {
         // Dominant component plus two harmonically unrelated minor ones,
         // all inside 0.3–3.5 Hz.
         let comps: Vec<(f32, f32, f32)> = vec![
-            (self.dominant_hz, self.amplitude, rng.gen_range(0.0..std::f32::consts::TAU)),
+            (
+                self.dominant_hz,
+                self.amplitude,
+                rng.gen_range(0.0..std::f32::consts::TAU),
+            ),
             (
                 (self.dominant_hz * 1.7).clamp(0.3, 3.5),
                 self.amplitude * 0.4,

@@ -3,7 +3,7 @@
 use crate::accelerometer::Accelerometer;
 use crate::motion::BodyMotion;
 use rand::Rng;
-use thrubarrier_dsp::{fft, AudioBuffer};
+use thrubarrier_dsp::AudioBuffer;
 
 /// The wearable's built-in speaker: a tiny transducer with a narrow
 /// reproduction band.
@@ -29,7 +29,8 @@ impl WearableSpeaker {
     pub fn play(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
         let lo = self.low_hz;
         let hi = self.high_hz.min(sample_rate as f32 / 2.0 * 0.98);
-        fft::apply_frequency_response(signal, sample_rate, move |f| {
+        let key = thrubarrier_dsp::response::curve_key(0x5753_504B, &[lo, hi]);
+        thrubarrier_dsp::response::filter_cached(key, signal, sample_rate, move |f| {
             if f < lo {
                 (f / lo).powi(2)
             } else if f > hi {
@@ -149,7 +150,7 @@ mod tests {
         let mut s2 = stft.power_spectrogram(v2.samples(), 200);
         s1.crop_low_frequencies(5.0);
         s2.crop_low_frequencies(5.0);
-        let r = thrubarrier_dsp::correlate::correlation_2d(s1.rows(), s2.rows()).unwrap();
+        let r = thrubarrier_dsp::correlate::spectrogram_correlation(&s1, &s2).unwrap();
         assert!(r > 0.7, "correlation {r}");
     }
 
@@ -167,7 +168,7 @@ mod tests {
         let mut s2 = stft.power_spectrogram(v2.samples(), 200);
         s1.crop_low_frequencies(5.0);
         s2.crop_low_frequencies(5.0);
-        let r = thrubarrier_dsp::correlate::correlation_2d(s1.rows(), s2.rows()).unwrap();
+        let r = thrubarrier_dsp::correlate::spectrogram_correlation(&s1, &s2).unwrap();
         assert!(r < 0.5, "correlation {r}");
     }
 

@@ -39,7 +39,7 @@ fn main() {
             s.crop_low_frequencies(5.0);
             s.normalize_by_max();
         }
-        correlate::correlation_2d(s1.rows(), s2.rows()).unwrap_or(0.0)
+        correlate::spectrogram_correlation(&s1, &s2).unwrap_or(0.0)
     };
 
     let user_corr = score(&user_sound);

@@ -47,11 +47,7 @@ fn main() -> std::io::Result<()> {
     hidden_buf.normalize_peak(0.8);
     wav::write_wav(out_dir.join("command_hidden_voice.wav"), &hidden_buf)?;
 
-    println!(
-        "wrote {} files to {}/:",
-        3,
-        out_dir.display()
-    );
+    println!("wrote {} files to {}/:", 3, out_dir.display());
     for name in [
         "command_clean.wav",
         "command_through_barrier.wav",

@@ -19,11 +19,11 @@ fn main() {
     let mut calibration = Vec::new();
     for _ in 0..8 {
         let t = ctx.legitimate_trial();
-        calibration.push(
-            guard
-                .system()
-                .score(&t.va_recording, &t.wearable_recording, &mut ctx.rng),
-        );
+        calibration.push(guard.system().score(
+            &t.va_recording,
+            &t.wearable_recording,
+            &mut ctx.rng,
+        ));
     }
     guard.calibrate_threshold(&calibration, 0.10);
     println!(
@@ -47,7 +47,11 @@ fn main() {
                 rejected_user += 1;
             }
         } else {
-            let kinds = [AttackKind::Replay, AttackKind::HiddenVoice, AttackKind::Random];
+            let kinds = [
+                AttackKind::Replay,
+                AttackKind::HiddenVoice,
+                AttackKind::Random,
+            ];
             let kind = kinds[(i / 3) % 3];
             let t = ctx.attack_trial(kind);
             let v = guard.authorize(&t.va_recording, Some(&t.wearable_recording), &mut ctx.rng);

@@ -16,7 +16,10 @@ fn main() {
     for sym in ["s", "aa", "er"] {
         let stats = study.selection.stats_for(sym).expect("common phoneme");
         let max_adv = stats.q3_adv[2..31].iter().cloned().fold(f32::MIN, f32::max);
-        let min_user = stats.q3_user[2..31].iter().cloned().fold(f32::MAX, f32::min);
+        let min_user = stats.q3_user[2..31]
+            .iter()
+            .cloned()
+            .fold(f32::MAX, f32::min);
         println!(
             "/{sym}/: max Q3 through barrier = {max_adv:.4} (criterion I: < {}), \
              min Q3 without barrier = {min_user:.4} (criterion II: > {})",

@@ -51,7 +51,11 @@ fn main() {
         println!("{:<30} {s_legit:>10.3} {s_attack:>10.3}", method.label());
     }
 
-    let score = system.score(&attack.va_recording, &attack.wearable_recording, &mut ctx.rng);
+    let score = system.score(
+        &attack.va_recording,
+        &attack.wearable_recording,
+        &mut ctx.rng,
+    );
     println!(
         "\nfull-system verdict on the attack (threshold {}): {}",
         system.detector.threshold,

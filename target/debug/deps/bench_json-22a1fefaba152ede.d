@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_json-22a1fefaba152ede.d: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_json-22a1fefaba152ede.rmeta: crates/bench/src/bin/bench_json.rs Cargo.toml
+
+crates/bench/src/bin/bench_json.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-30d642885d104b6e.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/libbench_json-30d642885d104b6e.rmeta: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

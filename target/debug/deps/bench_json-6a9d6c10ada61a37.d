@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-6a9d6c10ada61a37.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-6a9d6c10ada61a37: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-cb461295ba7cf24d.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-cb461295ba7cf24d: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-e6ea969a12129bf3.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/libbench_json-e6ea969a12129bf3.rmeta: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

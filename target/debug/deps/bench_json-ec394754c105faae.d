@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_json-ec394754c105faae.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/debug/deps/bench_json-ec394754c105faae: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

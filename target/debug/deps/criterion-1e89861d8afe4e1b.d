@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-1e89861d8afe4e1b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-1e89861d8afe4e1b: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4ed1a1712dca7573.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4ed1a1712dca7573.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

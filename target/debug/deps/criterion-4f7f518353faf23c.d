@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-4f7f518353faf23c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-4f7f518353faf23c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-548b6caac48b0496.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-548b6caac48b0496: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8fa37600e35a0112.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8fa37600e35a0112: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-3b5b2650f90b9992.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-3b5b2650f90b9992.rmeta: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

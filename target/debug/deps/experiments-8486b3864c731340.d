@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8486b3864c731340.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/debug/deps/experiments-8486b3864c731340: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

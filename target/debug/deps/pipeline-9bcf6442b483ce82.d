@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-9bcf6442b483ce82.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-9bcf6442b483ce82.rmeta: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

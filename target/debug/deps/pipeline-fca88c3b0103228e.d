@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fca88c3b0103228e.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-fca88c3b0103228e: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_components-82b6c1eeb682de95.d: tests/pipeline_components.rs
+
+/root/repo/target/debug/deps/pipeline_components-82b6c1eeb682de95: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_components-ad3fff63862a5517.d: tests/pipeline_components.rs
+
+/root/repo/target/debug/deps/pipeline_components-ad3fff63862a5517: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_components-ce4215b6c4b33212.d: tests/pipeline_components.rs
+
+/root/repo/target/debug/deps/libpipeline_components-ce4215b6c4b33212.rmeta: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-010e7eb179f1b874.d: crates/eval/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-010e7eb179f1b874: crates/eval/tests/properties.rs
+
+crates/eval/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0b0f804313bbb0af.d: crates/phoneme/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0b0f804313bbb0af.rmeta: crates/phoneme/tests/properties.rs Cargo.toml
+
+crates/phoneme/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0b87b6bd1ca86bbd.d: crates/attack/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0b87b6bd1ca86bbd.rmeta: crates/attack/tests/properties.rs Cargo.toml
+
+crates/attack/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

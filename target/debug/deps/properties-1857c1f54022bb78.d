@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1857c1f54022bb78.d: crates/acoustics/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1857c1f54022bb78.rmeta: crates/acoustics/tests/properties.rs
+
+crates/acoustics/tests/properties.rs:

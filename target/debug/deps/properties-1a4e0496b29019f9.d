@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1a4e0496b29019f9.d: crates/defense/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1a4e0496b29019f9: crates/defense/tests/properties.rs
+
+crates/defense/tests/properties.rs:

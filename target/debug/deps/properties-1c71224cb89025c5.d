@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1c71224cb89025c5.d: crates/vibration/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1c71224cb89025c5.rmeta: crates/vibration/tests/properties.rs
+
+crates/vibration/tests/properties.rs:

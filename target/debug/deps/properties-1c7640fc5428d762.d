@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1c7640fc5428d762.d: crates/dsp/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1c7640fc5428d762.rmeta: crates/dsp/tests/properties.rs
+
+crates/dsp/tests/properties.rs:

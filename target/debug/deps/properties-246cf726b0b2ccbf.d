@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-246cf726b0b2ccbf.d: crates/dsp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-246cf726b0b2ccbf: crates/dsp/tests/properties.rs
+
+crates/dsp/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-25b96a12a23d9510.d: crates/defense/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-25b96a12a23d9510.rmeta: crates/defense/tests/properties.rs Cargo.toml
+
+crates/defense/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-31c3424edb1f40ce.d: crates/acoustics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-31c3424edb1f40ce: crates/acoustics/tests/properties.rs
+
+crates/acoustics/tests/properties.rs:

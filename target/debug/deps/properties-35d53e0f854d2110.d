@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-35d53e0f854d2110.d: crates/dsp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-35d53e0f854d2110: crates/dsp/tests/properties.rs
+
+crates/dsp/tests/properties.rs:

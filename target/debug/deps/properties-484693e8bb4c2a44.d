@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-484693e8bb4c2a44.d: crates/vibration/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-484693e8bb4c2a44: crates/vibration/tests/properties.rs
+
+crates/vibration/tests/properties.rs:

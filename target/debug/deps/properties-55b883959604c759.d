@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-55b883959604c759.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-55b883959604c759: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

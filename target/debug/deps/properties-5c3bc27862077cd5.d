@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5c3bc27862077cd5.d: crates/eval/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5c3bc27862077cd5: crates/eval/tests/properties.rs
+
+crates/eval/tests/properties.rs:

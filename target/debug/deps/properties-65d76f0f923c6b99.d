@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-65d76f0f923c6b99.d: crates/vibration/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-65d76f0f923c6b99.rmeta: crates/vibration/tests/properties.rs Cargo.toml
+
+crates/vibration/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7c7950744b300267.d: crates/phoneme/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7c7950744b300267: crates/phoneme/tests/properties.rs
+
+crates/phoneme/tests/properties.rs:

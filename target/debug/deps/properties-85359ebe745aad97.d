@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-85359ebe745aad97.d: crates/acoustics/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-85359ebe745aad97.rmeta: crates/acoustics/tests/properties.rs Cargo.toml
+
+crates/acoustics/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

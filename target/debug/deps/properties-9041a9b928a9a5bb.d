@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9041a9b928a9a5bb.d: crates/vibration/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9041a9b928a9a5bb: crates/vibration/tests/properties.rs
+
+crates/vibration/tests/properties.rs:

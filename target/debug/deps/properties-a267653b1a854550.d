@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a267653b1a854550.d: crates/attack/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a267653b1a854550: crates/attack/tests/properties.rs
+
+crates/attack/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a84abfa2012fc834.d: crates/eval/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a84abfa2012fc834.rmeta: crates/eval/tests/properties.rs Cargo.toml
+
+crates/eval/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b581c5d45e2cd207.d: crates/defense/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b581c5d45e2cd207: crates/defense/tests/properties.rs
+
+crates/defense/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b72597b4075c3054.d: crates/nn/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b72597b4075c3054.rmeta: crates/nn/tests/properties.rs Cargo.toml
+
+crates/nn/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

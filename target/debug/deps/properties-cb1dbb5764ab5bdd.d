@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cb1dbb5764ab5bdd.d: crates/acoustics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cb1dbb5764ab5bdd: crates/acoustics/tests/properties.rs
+
+crates/acoustics/tests/properties.rs:

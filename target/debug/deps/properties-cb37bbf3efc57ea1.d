@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cb37bbf3efc57ea1.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cb37bbf3efc57ea1: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

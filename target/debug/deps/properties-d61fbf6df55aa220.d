@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d61fbf6df55aa220.d: crates/attack/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-d61fbf6df55aa220.rmeta: crates/attack/tests/properties.rs
+
+crates/attack/tests/properties.rs:

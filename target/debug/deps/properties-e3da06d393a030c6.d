@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e3da06d393a030c6.d: crates/dsp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e3da06d393a030c6.rmeta: crates/dsp/tests/properties.rs Cargo.toml
+
+crates/dsp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

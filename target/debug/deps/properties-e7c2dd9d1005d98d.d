@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e7c2dd9d1005d98d.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-e7c2dd9d1005d98d.rmeta: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

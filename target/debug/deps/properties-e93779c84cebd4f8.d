@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e93779c84cebd4f8.d: crates/phoneme/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e93779c84cebd4f8: crates/phoneme/tests/properties.rs
+
+crates/phoneme/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-eb84cba0471a1faa.d: crates/phoneme/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-eb84cba0471a1faa.rmeta: crates/phoneme/tests/properties.rs
+
+crates/phoneme/tests/properties.rs:

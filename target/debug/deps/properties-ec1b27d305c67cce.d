@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec1b27d305c67cce.d: crates/attack/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec1b27d305c67cce: crates/attack/tests/properties.rs
+
+crates/attack/tests/properties.rs:

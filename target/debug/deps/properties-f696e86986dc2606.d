@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f696e86986dc2606.d: crates/eval/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-f696e86986dc2606.rmeta: crates/eval/tests/properties.rs
+
+crates/eval/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f81f7e89ab354fff.d: crates/defense/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-f81f7e89ab354fff.rmeta: crates/defense/tests/properties.rs
+
+crates/defense/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-52c81d1c2f0637ac.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-52c81d1c2f0637ac.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-52c81d1c2f0637ac.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

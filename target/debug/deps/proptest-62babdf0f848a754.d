@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-62babdf0f848a754.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-62babdf0f848a754.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-800a077f69c829fe.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-800a077f69c829fe: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

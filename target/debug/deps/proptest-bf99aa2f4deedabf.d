@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-bf99aa2f4deedabf.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bf99aa2f4deedabf.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bf99aa2f4deedabf.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

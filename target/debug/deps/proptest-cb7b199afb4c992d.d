@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-cb7b199afb4c992d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cb7b199afb4c992d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

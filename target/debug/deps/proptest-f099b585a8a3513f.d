@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f099b585a8a3513f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-f099b585a8a3513f: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6b0b51b159d4cf02.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6b0b51b159d4cf02.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

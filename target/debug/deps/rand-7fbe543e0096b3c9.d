@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7fbe543e0096b3c9.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7fbe543e0096b3c9.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

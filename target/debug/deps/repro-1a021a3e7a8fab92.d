@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1a021a3e7a8fab92.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-1a021a3e7a8fab92.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8c6cbc9909b0cf11.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8c6cbc9909b0cf11: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

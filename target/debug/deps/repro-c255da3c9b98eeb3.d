@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-c255da3c9b98eeb3.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-c255da3c9b98eeb3: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

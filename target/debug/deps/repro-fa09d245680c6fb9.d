@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fa09d245680c6fb9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-fa09d245680c6fb9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

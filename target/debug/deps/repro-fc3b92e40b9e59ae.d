@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fc3b92e40b9e59ae.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-fc3b92e40b9e59ae.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thrubarrier-5e9c91ec25454235.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier-5e9c91ec25454235.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier-6a87470e0bc346cc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier-6a87470e0bc346cc.rmeta: src/lib.rs
+
+src/lib.rs:

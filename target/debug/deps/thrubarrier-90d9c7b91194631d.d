@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier-90d9c7b91194631d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier-90d9c7b91194631d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier-90d9c7b91194631d.rmeta: src/lib.rs
+
+src/lib.rs:

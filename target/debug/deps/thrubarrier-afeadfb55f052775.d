@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier-afeadfb55f052775.d: src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier-afeadfb55f052775.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier-b6bdec0d2e0632d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/thrubarrier-b6bdec0d2e0632d8: src/lib.rs
+
+src/lib.rs:

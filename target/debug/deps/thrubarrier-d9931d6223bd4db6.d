@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier-d9931d6223bd4db6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier-d9931d6223bd4db6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier-d9931d6223bd4db6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier-e6b0224a031b877a.d: src/lib.rs
+
+/root/repo/target/debug/deps/thrubarrier-e6b0224a031b877a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/thrubarrier_acoustics-16a762cb0f296bd4.d: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_acoustics-16a762cb0f296bd4.rmeta: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs Cargo.toml
+
+crates/acoustics/src/lib.rs:
+crates/acoustics/src/barrier.rs:
+crates/acoustics/src/loudspeaker.rs:
+crates/acoustics/src/mic.rs:
+crates/acoustics/src/propagation.rs:
+crates/acoustics/src/room.rs:
+crates/acoustics/src/scene.rs:
+crates/acoustics/src/va.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

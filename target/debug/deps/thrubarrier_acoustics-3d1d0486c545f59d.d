@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/thrubarrier_acoustics-3d1d0486c545f59d.d: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+/root/repo/target/debug/deps/thrubarrier_acoustics-3d1d0486c545f59d: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+crates/acoustics/src/lib.rs:
+crates/acoustics/src/barrier.rs:
+crates/acoustics/src/loudspeaker.rs:
+crates/acoustics/src/mic.rs:
+crates/acoustics/src/propagation.rs:
+crates/acoustics/src/room.rs:
+crates/acoustics/src/scene.rs:
+crates/acoustics/src/va.rs:

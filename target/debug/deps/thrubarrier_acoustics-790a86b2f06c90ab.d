@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/thrubarrier_acoustics-790a86b2f06c90ab.d: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+/root/repo/target/debug/deps/libthrubarrier_acoustics-790a86b2f06c90ab.rlib: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+/root/repo/target/debug/deps/libthrubarrier_acoustics-790a86b2f06c90ab.rmeta: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+crates/acoustics/src/lib.rs:
+crates/acoustics/src/barrier.rs:
+crates/acoustics/src/loudspeaker.rs:
+crates/acoustics/src/mic.rs:
+crates/acoustics/src/propagation.rs:
+crates/acoustics/src/room.rs:
+crates/acoustics/src/scene.rs:
+crates/acoustics/src/va.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier_attack-3c4b2c64b70d7e46.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/libthrubarrier_attack-3c4b2c64b70d7e46.rmeta: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

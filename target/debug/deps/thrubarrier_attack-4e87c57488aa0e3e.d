@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier_attack-4e87c57488aa0e3e.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/libthrubarrier_attack-4e87c57488aa0e3e.rmeta: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier_attack-51f45e0f26b4e989.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/thrubarrier_attack-51f45e0f26b4e989: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier_attack-62e2eea82fc31b2e.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/thrubarrier_attack-62e2eea82fc31b2e: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thrubarrier_attack-66ff223e5e50917a.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_attack-66ff223e5e50917a.rmeta: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs Cargo.toml
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thrubarrier_attack-bab909bdaac3f6b8.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/libthrubarrier_attack-bab909bdaac3f6b8.rlib: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/libthrubarrier_attack-bab909bdaac3f6b8.rmeta: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

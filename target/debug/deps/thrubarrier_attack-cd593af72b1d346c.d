@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thrubarrier_attack-cd593af72b1d346c.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/libthrubarrier_attack-cd593af72b1d346c.rlib: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/debug/deps/libthrubarrier_attack-cd593af72b1d346c.rmeta: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier_bench-0786144724eb1c90.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier_bench-0786144724eb1c90.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier_bench-0786144724eb1c90.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

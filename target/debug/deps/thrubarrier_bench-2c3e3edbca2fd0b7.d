@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier_bench-2c3e3edbca2fd0b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier_bench-2c3e3edbca2fd0b7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

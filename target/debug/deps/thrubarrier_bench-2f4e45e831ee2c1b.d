@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier_bench-2f4e45e831ee2c1b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier_bench-2f4e45e831ee2c1b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thrubarrier_bench-3386349f728ddb0c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_bench-3386349f728ddb0c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

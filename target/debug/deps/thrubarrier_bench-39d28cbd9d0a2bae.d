@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/thrubarrier_bench-39d28cbd9d0a2bae.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier_bench-39d28cbd9d0a2bae.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libthrubarrier_bench-39d28cbd9d0a2bae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

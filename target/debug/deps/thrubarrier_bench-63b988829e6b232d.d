@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thrubarrier_bench-63b988829e6b232d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_bench-63b988829e6b232d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier_bench-9930e26299b9609f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/thrubarrier_bench-9930e26299b9609f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

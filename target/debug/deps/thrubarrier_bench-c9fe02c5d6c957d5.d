@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thrubarrier_bench-c9fe02c5d6c957d5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/thrubarrier_bench-c9fe02c5d6c957d5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/thrubarrier_defense-00e7c556a00ff706.d: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_defense-00e7c556a00ff706.rmeta: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs Cargo.toml
+
+crates/defense/src/lib.rs:
+crates/defense/src/detector.rs:
+crates/defense/src/features.rs:
+crates/defense/src/guard.rs:
+crates/defense/src/segmentation.rs:
+crates/defense/src/selection.rs:
+crates/defense/src/sync.rs:
+crates/defense/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/thrubarrier_defense-8c604b6a2df5bf3e.d: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+/root/repo/target/debug/deps/thrubarrier_defense-8c604b6a2df5bf3e: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/detector.rs:
+crates/defense/src/features.rs:
+crates/defense/src/guard.rs:
+crates/defense/src/segmentation.rs:
+crates/defense/src/selection.rs:
+crates/defense/src/sync.rs:
+crates/defense/src/system.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/thrubarrier_defense-94c6d921c97fa228.d: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+/root/repo/target/debug/deps/libthrubarrier_defense-94c6d921c97fa228.rlib: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+/root/repo/target/debug/deps/libthrubarrier_defense-94c6d921c97fa228.rmeta: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/detector.rs:
+crates/defense/src/features.rs:
+crates/defense/src/guard.rs:
+crates/defense/src/segmentation.rs:
+crates/defense/src/selection.rs:
+crates/defense/src/sync.rs:
+crates/defense/src/system.rs:

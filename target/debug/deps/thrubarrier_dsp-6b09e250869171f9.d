@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/thrubarrier_dsp-6b09e250869171f9.d: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/response.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs
+
+/root/repo/target/debug/deps/thrubarrier_dsp-6b09e250869171f9: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/response.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/buffer.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/error.rs:
+crates/dsp/src/features.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/gen.rs:
+crates/dsp/src/mel.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/response.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/stft.rs:
+crates/dsp/src/wav.rs:
+crates/dsp/src/window.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/thrubarrier_dsp-d5b232278f287a52.d: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/response.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_dsp-d5b232278f287a52.rmeta: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/response.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs Cargo.toml
+
+crates/dsp/src/lib.rs:
+crates/dsp/src/buffer.rs:
+crates/dsp/src/complex.rs:
+crates/dsp/src/correlate.rs:
+crates/dsp/src/error.rs:
+crates/dsp/src/features.rs:
+crates/dsp/src/fft.rs:
+crates/dsp/src/filter.rs:
+crates/dsp/src/gen.rs:
+crates/dsp/src/mel.rs:
+crates/dsp/src/resample.rs:
+crates/dsp/src/response.rs:
+crates/dsp/src/stats.rs:
+crates/dsp/src/stft.rs:
+crates/dsp/src/wav.rs:
+crates/dsp/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

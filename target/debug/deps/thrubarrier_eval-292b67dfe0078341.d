@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/thrubarrier_eval-292b67dfe0078341.d: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/ablation.rs crates/eval/src/experiments/architectures.rs crates/eval/src/experiments/common.rs crates/eval/src/experiments/extensions.rs crates/eval/src/experiments/fig11.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig4.rs crates/eval/src/experiments/fig6.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig9.rs crates/eval/src/experiments/naive_baseline.rs crates/eval/src/experiments/phoneme_detection.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/table2.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/scenario.rs
+
+/root/repo/target/debug/deps/libthrubarrier_eval-292b67dfe0078341.rlib: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/ablation.rs crates/eval/src/experiments/architectures.rs crates/eval/src/experiments/common.rs crates/eval/src/experiments/extensions.rs crates/eval/src/experiments/fig11.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig4.rs crates/eval/src/experiments/fig6.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig9.rs crates/eval/src/experiments/naive_baseline.rs crates/eval/src/experiments/phoneme_detection.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/table2.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/scenario.rs
+
+/root/repo/target/debug/deps/libthrubarrier_eval-292b67dfe0078341.rmeta: crates/eval/src/lib.rs crates/eval/src/experiments/mod.rs crates/eval/src/experiments/ablation.rs crates/eval/src/experiments/architectures.rs crates/eval/src/experiments/common.rs crates/eval/src/experiments/extensions.rs crates/eval/src/experiments/fig11.rs crates/eval/src/experiments/fig3.rs crates/eval/src/experiments/fig4.rs crates/eval/src/experiments/fig6.rs crates/eval/src/experiments/fig7.rs crates/eval/src/experiments/fig9.rs crates/eval/src/experiments/naive_baseline.rs crates/eval/src/experiments/phoneme_detection.rs crates/eval/src/experiments/table1.rs crates/eval/src/experiments/table2.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/scenario.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/experiments/mod.rs:
+crates/eval/src/experiments/ablation.rs:
+crates/eval/src/experiments/architectures.rs:
+crates/eval/src/experiments/common.rs:
+crates/eval/src/experiments/extensions.rs:
+crates/eval/src/experiments/fig11.rs:
+crates/eval/src/experiments/fig3.rs:
+crates/eval/src/experiments/fig4.rs:
+crates/eval/src/experiments/fig6.rs:
+crates/eval/src/experiments/fig7.rs:
+crates/eval/src/experiments/fig9.rs:
+crates/eval/src/experiments/naive_baseline.rs:
+crates/eval/src/experiments/phoneme_detection.rs:
+crates/eval/src/experiments/table1.rs:
+crates/eval/src/experiments/table2.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/scenario.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/thrubarrier_phoneme-05b8064e1f6aa8ae.d: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthrubarrier_phoneme-05b8064e1f6aa8ae.rmeta: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs Cargo.toml
+
+crates/phoneme/src/lib.rs:
+crates/phoneme/src/command.rs:
+crates/phoneme/src/common.rs:
+crates/phoneme/src/corpus.rs:
+crates/phoneme/src/inventory.rs:
+crates/phoneme/src/speaker.rs:
+crates/phoneme/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thrubarrier_phoneme-63f0b494bdd7aae6.d: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+/root/repo/target/debug/deps/thrubarrier_phoneme-63f0b494bdd7aae6: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+crates/phoneme/src/lib.rs:
+crates/phoneme/src/command.rs:
+crates/phoneme/src/common.rs:
+crates/phoneme/src/corpus.rs:
+crates/phoneme/src/inventory.rs:
+crates/phoneme/src/speaker.rs:
+crates/phoneme/src/synth.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/thrubarrier_phoneme-a62dc9d64b87d3ff.d: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+/root/repo/target/debug/deps/libthrubarrier_phoneme-a62dc9d64b87d3ff.rlib: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+/root/repo/target/debug/deps/libthrubarrier_phoneme-a62dc9d64b87d3ff.rmeta: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+crates/phoneme/src/lib.rs:
+crates/phoneme/src/command.rs:
+crates/phoneme/src/common.rs:
+crates/phoneme/src/corpus.rs:
+crates/phoneme/src/inventory.rs:
+crates/phoneme/src/speaker.rs:
+crates/phoneme/src/synth.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thrubarrier_phoneme-f79a2add6f88f3da.d: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+/root/repo/target/debug/deps/thrubarrier_phoneme-f79a2add6f88f3da: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+crates/phoneme/src/lib.rs:
+crates/phoneme/src/command.rs:
+crates/phoneme/src/common.rs:
+crates/phoneme/src/corpus.rs:
+crates/phoneme/src/inventory.rs:
+crates/phoneme/src/speaker.rs:
+crates/phoneme/src/synth.rs:

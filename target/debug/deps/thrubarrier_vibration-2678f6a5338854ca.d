@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thrubarrier_vibration-2678f6a5338854ca.d: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/debug/deps/libthrubarrier_vibration-2678f6a5338854ca.rlib: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/debug/deps/libthrubarrier_vibration-2678f6a5338854ca.rmeta: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+crates/vibration/src/lib.rs:
+crates/vibration/src/accelerometer.rs:
+crates/vibration/src/chirp.rs:
+crates/vibration/src/motion.rs:
+crates/vibration/src/wearable.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thrubarrier_vibration-68e1a07a3a91d29c.d: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/debug/deps/thrubarrier_vibration-68e1a07a3a91d29c: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+crates/vibration/src/lib.rs:
+crates/vibration/src/accelerometer.rs:
+crates/vibration/src/chirp.rs:
+crates/vibration/src/motion.rs:
+crates/vibration/src/wearable.rs:

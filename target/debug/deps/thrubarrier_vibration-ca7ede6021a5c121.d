@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/thrubarrier_vibration-ca7ede6021a5c121.d: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/debug/deps/libthrubarrier_vibration-ca7ede6021a5c121.rlib: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/debug/deps/libthrubarrier_vibration-ca7ede6021a5c121.rmeta: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+crates/vibration/src/lib.rs:
+crates/vibration/src/accelerometer.rs:
+crates/vibration/src/chirp.rs:
+crates/vibration/src/motion.rs:
+crates/vibration/src/wearable.rs:

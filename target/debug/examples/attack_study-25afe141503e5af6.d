@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_study-25afe141503e5af6.d: examples/attack_study.rs
+
+/root/repo/target/debug/examples/attack_study-25afe141503e5af6: examples/attack_study.rs
+
+examples/attack_study.rs:

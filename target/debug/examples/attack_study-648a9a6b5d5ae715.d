@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_study-648a9a6b5d5ae715.d: examples/attack_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_study-648a9a6b5d5ae715.rmeta: examples/attack_study.rs Cargo.toml
+
+examples/attack_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

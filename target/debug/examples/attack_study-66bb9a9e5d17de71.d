@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_study-66bb9a9e5d17de71.d: examples/attack_study.rs
+
+/root/repo/target/debug/examples/libattack_study-66bb9a9e5d17de71.rmeta: examples/attack_study.rs
+
+examples/attack_study.rs:

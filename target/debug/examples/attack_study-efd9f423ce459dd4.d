@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_study-efd9f423ce459dd4.d: examples/attack_study.rs
+
+/root/repo/target/debug/examples/attack_study-efd9f423ce459dd4: examples/attack_study.rs
+
+examples/attack_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/brnn_debug-089ec13011e71302.d: crates/defense/examples/brnn_debug.rs
+
+/root/repo/target/debug/examples/libbrnn_debug-089ec13011e71302.rmeta: crates/defense/examples/brnn_debug.rs
+
+crates/defense/examples/brnn_debug.rs:

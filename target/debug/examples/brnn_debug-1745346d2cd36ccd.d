@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/brnn_debug-1745346d2cd36ccd.d: crates/defense/examples/brnn_debug.rs
+
+/root/repo/target/debug/examples/brnn_debug-1745346d2cd36ccd: crates/defense/examples/brnn_debug.rs
+
+crates/defense/examples/brnn_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/brnn_debug-429f443f6e76090a.d: crates/defense/examples/brnn_debug.rs
+
+/root/repo/target/debug/examples/brnn_debug-429f443f6e76090a: crates/defense/examples/brnn_debug.rs
+
+crates/defense/examples/brnn_debug.rs:

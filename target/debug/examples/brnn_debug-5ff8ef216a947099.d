@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/brnn_debug-5ff8ef216a947099.d: crates/defense/examples/brnn_debug.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbrnn_debug-5ff8ef216a947099.rmeta: crates/defense/examples/brnn_debug.rs Cargo.toml
+
+crates/defense/examples/brnn_debug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_domain_sensing-4a0a6e2ad13cdce7.d: examples/cross_domain_sensing.rs
+
+/root/repo/target/debug/examples/cross_domain_sensing-4a0a6e2ad13cdce7: examples/cross_domain_sensing.rs
+
+examples/cross_domain_sensing.rs:

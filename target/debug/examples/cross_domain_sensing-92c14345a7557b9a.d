@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_domain_sensing-92c14345a7557b9a.d: examples/cross_domain_sensing.rs
+
+/root/repo/target/debug/examples/libcross_domain_sensing-92c14345a7557b9a.rmeta: examples/cross_domain_sensing.rs
+
+examples/cross_domain_sensing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_domain_sensing-d5f407ffb63017e0.d: examples/cross_domain_sensing.rs
+
+/root/repo/target/debug/examples/cross_domain_sensing-d5f407ffb63017e0: examples/cross_domain_sensing.rs
+
+examples/cross_domain_sensing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_domain_sensing-e280dc61c2f682dd.d: examples/cross_domain_sensing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_domain_sensing-e280dc61c2f682dd.rmeta: examples/cross_domain_sensing.rs Cargo.toml
+
+examples/cross_domain_sensing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/curve_debug-309629a854448f6c.d: crates/defense/examples/curve_debug.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcurve_debug-309629a854448f6c.rmeta: crates/defense/examples/curve_debug.rs Cargo.toml
+
+crates/defense/examples/curve_debug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

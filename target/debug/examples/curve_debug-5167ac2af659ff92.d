@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/curve_debug-5167ac2af659ff92.d: crates/defense/examples/curve_debug.rs
+
+/root/repo/target/debug/examples/libcurve_debug-5167ac2af659ff92.rmeta: crates/defense/examples/curve_debug.rs
+
+crates/defense/examples/curve_debug.rs:

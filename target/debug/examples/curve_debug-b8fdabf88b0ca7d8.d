@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/curve_debug-b8fdabf88b0ca7d8.d: crates/defense/examples/curve_debug.rs
+
+/root/repo/target/debug/examples/curve_debug-b8fdabf88b0ca7d8: crates/defense/examples/curve_debug.rs
+
+crates/defense/examples/curve_debug.rs:

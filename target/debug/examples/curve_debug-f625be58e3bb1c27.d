@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/curve_debug-f625be58e3bb1c27.d: crates/defense/examples/curve_debug.rs
+
+/root/repo/target/debug/examples/curve_debug-f625be58e3bb1c27: crates/defense/examples/curve_debug.rs
+
+crates/defense/examples/curve_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_eval-95ce655a45ed3b7c.d: examples/detection_eval.rs
+
+/root/repo/target/debug/examples/detection_eval-95ce655a45ed3b7c: examples/detection_eval.rs
+
+examples/detection_eval.rs:

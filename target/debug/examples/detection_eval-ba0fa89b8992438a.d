@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detection_eval-ba0fa89b8992438a.d: examples/detection_eval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetection_eval-ba0fa89b8992438a.rmeta: examples/detection_eval.rs Cargo.toml
+
+examples/detection_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

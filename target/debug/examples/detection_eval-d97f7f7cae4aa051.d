@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_eval-d97f7f7cae4aa051.d: examples/detection_eval.rs
+
+/root/repo/target/debug/examples/libdetection_eval-d97f7f7cae4aa051.rmeta: examples/detection_eval.rs
+
+examples/detection_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detection_eval-ee7e471f7671c5c6.d: examples/detection_eval.rs
+
+/root/repo/target/debug/examples/detection_eval-ee7e471f7671c5c6: examples/detection_eval.rs
+
+examples/detection_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_audio-bfbb1f86e3d9c9df.d: examples/export_audio.rs
+
+/root/repo/target/debug/examples/libexport_audio-bfbb1f86e3d9c9df.rmeta: examples/export_audio.rs
+
+examples/export_audio.rs:

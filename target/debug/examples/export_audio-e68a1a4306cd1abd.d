@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_audio-e68a1a4306cd1abd.d: examples/export_audio.rs
+
+/root/repo/target/debug/examples/export_audio-e68a1a4306cd1abd: examples/export_audio.rs
+
+examples/export_audio.rs:

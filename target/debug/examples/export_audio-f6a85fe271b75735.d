@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_audio-f6a85fe271b75735.d: examples/export_audio.rs
+
+/root/repo/target/debug/examples/export_audio-f6a85fe271b75735: examples/export_audio.rs
+
+examples/export_audio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_audio-fcfc188f4424f6ec.d: examples/export_audio.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_audio-fcfc188f4424f6ec.rmeta: examples/export_audio.rs Cargo.toml
+
+examples/export_audio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/guard_deployment-0f7feca293f70004.d: examples/guard_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libguard_deployment-0f7feca293f70004.rmeta: examples/guard_deployment.rs Cargo.toml
+
+examples/guard_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/guard_deployment-14c29c321ccae2e4.d: examples/guard_deployment.rs
+
+/root/repo/target/debug/examples/guard_deployment-14c29c321ccae2e4: examples/guard_deployment.rs
+
+examples/guard_deployment.rs:

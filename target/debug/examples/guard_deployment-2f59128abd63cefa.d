@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/guard_deployment-2f59128abd63cefa.d: examples/guard_deployment.rs
+
+/root/repo/target/debug/examples/libguard_deployment-2f59128abd63cefa.rmeta: examples/guard_deployment.rs
+
+examples/guard_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/guard_deployment-95860e6dd71cf804.d: examples/guard_deployment.rs
+
+/root/repo/target/debug/examples/guard_deployment-95860e6dd71cf804: examples/guard_deployment.rs
+
+examples/guard_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phoneme_selection-031124d64944b260.d: examples/phoneme_selection.rs
+
+/root/repo/target/debug/examples/libphoneme_selection-031124d64944b260.rmeta: examples/phoneme_selection.rs
+
+examples/phoneme_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phoneme_selection-110eb59c171ba9be.d: examples/phoneme_selection.rs
+
+/root/repo/target/debug/examples/phoneme_selection-110eb59c171ba9be: examples/phoneme_selection.rs
+
+examples/phoneme_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phoneme_selection-8ad40ede09c0e550.d: examples/phoneme_selection.rs
+
+/root/repo/target/debug/examples/phoneme_selection-8ad40ede09c0e550: examples/phoneme_selection.rs
+
+examples/phoneme_selection.rs:

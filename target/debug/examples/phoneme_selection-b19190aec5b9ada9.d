@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/phoneme_selection-b19190aec5b9ada9.d: examples/phoneme_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphoneme_selection-b19190aec5b9ada9.rmeta: examples/phoneme_selection.rs Cargo.toml
+
+examples/phoneme_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1e62fd832b00b463.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1e62fd832b00b463: examples/quickstart.rs
+
+examples/quickstart.rs:

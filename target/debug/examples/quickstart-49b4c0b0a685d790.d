@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-49b4c0b0a685d790.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-49b4c0b0a685d790.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

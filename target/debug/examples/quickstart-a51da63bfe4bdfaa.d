@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a51da63bfe4bdfaa.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a51da63bfe4bdfaa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selection_debug-32317440987d5d58.d: crates/defense/examples/selection_debug.rs
+
+/root/repo/target/debug/examples/selection_debug-32317440987d5d58: crates/defense/examples/selection_debug.rs
+
+crates/defense/examples/selection_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selection_debug-9c0064c80a3048bb.d: crates/defense/examples/selection_debug.rs
+
+/root/repo/target/debug/examples/selection_debug-9c0064c80a3048bb: crates/defense/examples/selection_debug.rs
+
+crates/defense/examples/selection_debug.rs:

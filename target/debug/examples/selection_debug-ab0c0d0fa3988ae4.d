@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selection_debug-ab0c0d0fa3988ae4.d: crates/defense/examples/selection_debug.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselection_debug-ab0c0d0fa3988ae4.rmeta: crates/defense/examples/selection_debug.rs Cargo.toml
+
+crates/defense/examples/selection_debug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

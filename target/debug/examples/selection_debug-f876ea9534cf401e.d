@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selection_debug-f876ea9534cf401e.d: crates/defense/examples/selection_debug.rs
+
+/root/repo/target/debug/examples/libselection_debug-f876ea9534cf401e.rmeta: crates/defense/examples/selection_debug.rs
+
+crates/defense/examples/selection_debug.rs:

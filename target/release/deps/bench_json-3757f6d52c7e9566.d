@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-3757f6d52c7e9566.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-3757f6d52c7e9566: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_json-738ea69caa128a00.d: crates/bench/src/bin/bench_json.rs
+
+/root/repo/target/release/deps/bench_json-738ea69caa128a00: crates/bench/src/bin/bench_json.rs
+
+crates/bench/src/bin/bench_json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-1f4d4a727656b0b6.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-1f4d4a727656b0b6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_components-6c47afee44f68e3a.d: tests/pipeline_components.rs
+
+/root/repo/target/release/deps/pipeline_components-6c47afee44f68e3a: tests/pipeline_components.rs
+
+tests/pipeline_components.rs:

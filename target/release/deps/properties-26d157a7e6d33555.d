@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-26d157a7e6d33555.d: crates/eval/tests/properties.rs
+
+/root/repo/target/release/deps/properties-26d157a7e6d33555: crates/eval/tests/properties.rs
+
+crates/eval/tests/properties.rs:

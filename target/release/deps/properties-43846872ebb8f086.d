@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-43846872ebb8f086.d: crates/nn/tests/properties.rs
+
+/root/repo/target/release/deps/properties-43846872ebb8f086: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

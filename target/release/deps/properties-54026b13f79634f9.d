@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-54026b13f79634f9.d: crates/defense/tests/properties.rs
+
+/root/repo/target/release/deps/properties-54026b13f79634f9: crates/defense/tests/properties.rs
+
+crates/defense/tests/properties.rs:

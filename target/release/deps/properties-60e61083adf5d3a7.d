@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-60e61083adf5d3a7.d: crates/vibration/tests/properties.rs
+
+/root/repo/target/release/deps/properties-60e61083adf5d3a7: crates/vibration/tests/properties.rs
+
+crates/vibration/tests/properties.rs:

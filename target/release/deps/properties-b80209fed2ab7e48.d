@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b80209fed2ab7e48.d: crates/phoneme/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b80209fed2ab7e48: crates/phoneme/tests/properties.rs
+
+crates/phoneme/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d904888737f6e693.d: crates/attack/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d904888737f6e693: crates/attack/tests/properties.rs
+
+crates/attack/tests/properties.rs:

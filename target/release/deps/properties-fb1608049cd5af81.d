@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-fb1608049cd5af81.d: crates/dsp/tests/properties.rs
+
+/root/repo/target/release/deps/properties-fb1608049cd5af81: crates/dsp/tests/properties.rs
+
+crates/dsp/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-fc59f2e8313edb62.d: crates/acoustics/tests/properties.rs
+
+/root/repo/target/release/deps/properties-fc59f2e8313edb62: crates/acoustics/tests/properties.rs
+
+crates/acoustics/tests/properties.rs:

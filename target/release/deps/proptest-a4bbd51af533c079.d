@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-a4bbd51af533c079.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-a4bbd51af533c079: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-925d7b5a656382b0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-925d7b5a656382b0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c4c6307b8c00a4b7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c4c6307b8c00a4b7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/thrubarrier-ba7d3e2fea8fee90.d: src/lib.rs
+
+/root/repo/target/release/deps/libthrubarrier-ba7d3e2fea8fee90.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libthrubarrier-ba7d3e2fea8fee90.rmeta: src/lib.rs
+
+src/lib.rs:

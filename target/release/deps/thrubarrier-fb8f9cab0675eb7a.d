@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thrubarrier-fb8f9cab0675eb7a.d: src/lib.rs
+
+/root/repo/target/release/deps/thrubarrier-fb8f9cab0675eb7a: src/lib.rs
+
+src/lib.rs:

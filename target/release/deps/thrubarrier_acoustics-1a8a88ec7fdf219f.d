@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/thrubarrier_acoustics-1a8a88ec7fdf219f.d: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+/root/repo/target/release/deps/libthrubarrier_acoustics-1a8a88ec7fdf219f.rlib: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+/root/repo/target/release/deps/libthrubarrier_acoustics-1a8a88ec7fdf219f.rmeta: crates/acoustics/src/lib.rs crates/acoustics/src/barrier.rs crates/acoustics/src/loudspeaker.rs crates/acoustics/src/mic.rs crates/acoustics/src/propagation.rs crates/acoustics/src/room.rs crates/acoustics/src/scene.rs crates/acoustics/src/va.rs
+
+crates/acoustics/src/lib.rs:
+crates/acoustics/src/barrier.rs:
+crates/acoustics/src/loudspeaker.rs:
+crates/acoustics/src/mic.rs:
+crates/acoustics/src/propagation.rs:
+crates/acoustics/src/room.rs:
+crates/acoustics/src/scene.rs:
+crates/acoustics/src/va.rs:

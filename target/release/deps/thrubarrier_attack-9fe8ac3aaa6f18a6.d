@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/thrubarrier_attack-9fe8ac3aaa6f18a6.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/release/deps/libthrubarrier_attack-9fe8ac3aaa6f18a6.rlib: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/release/deps/libthrubarrier_attack-9fe8ac3aaa6f18a6.rmeta: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/thrubarrier_attack-dedb02ad94ebb9ec.d: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+/root/repo/target/release/deps/thrubarrier_attack-dedb02ad94ebb9ec: crates/attack/src/lib.rs crates/attack/src/generator.rs crates/attack/src/hidden.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/generator.rs:
+crates/attack/src/hidden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thrubarrier_bench-4616892bf2567831.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/thrubarrier_bench-4616892bf2567831: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

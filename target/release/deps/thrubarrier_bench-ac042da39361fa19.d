@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/thrubarrier_bench-ac042da39361fa19.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libthrubarrier_bench-ac042da39361fa19.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libthrubarrier_bench-ac042da39361fa19.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/thrubarrier_defense-ea7575f7f7a1f553.d: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+/root/repo/target/release/deps/libthrubarrier_defense-ea7575f7f7a1f553.rlib: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+/root/repo/target/release/deps/libthrubarrier_defense-ea7575f7f7a1f553.rmeta: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+
+crates/defense/src/lib.rs:
+crates/defense/src/detector.rs:
+crates/defense/src/features.rs:
+crates/defense/src/guard.rs:
+crates/defense/src/segmentation.rs:
+crates/defense/src/selection.rs:
+crates/defense/src/sync.rs:
+crates/defense/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/thrubarrier_phoneme-a9a8bcedcb9dcc26.d: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+/root/repo/target/release/deps/thrubarrier_phoneme-a9a8bcedcb9dcc26: crates/phoneme/src/lib.rs crates/phoneme/src/command.rs crates/phoneme/src/common.rs crates/phoneme/src/corpus.rs crates/phoneme/src/inventory.rs crates/phoneme/src/speaker.rs crates/phoneme/src/synth.rs
+
+crates/phoneme/src/lib.rs:
+crates/phoneme/src/command.rs:
+crates/phoneme/src/common.rs:
+crates/phoneme/src/corpus.rs:
+crates/phoneme/src/inventory.rs:
+crates/phoneme/src/speaker.rs:
+crates/phoneme/src/synth.rs:

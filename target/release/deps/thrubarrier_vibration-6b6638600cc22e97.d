@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/thrubarrier_vibration-6b6638600cc22e97.d: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/release/deps/libthrubarrier_vibration-6b6638600cc22e97.rlib: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/release/deps/libthrubarrier_vibration-6b6638600cc22e97.rmeta: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+crates/vibration/src/lib.rs:
+crates/vibration/src/accelerometer.rs:
+crates/vibration/src/chirp.rs:
+crates/vibration/src/motion.rs:
+crates/vibration/src/wearable.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/thrubarrier_vibration-cefb98536fc02c86.d: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+/root/repo/target/release/deps/thrubarrier_vibration-cefb98536fc02c86: crates/vibration/src/lib.rs crates/vibration/src/accelerometer.rs crates/vibration/src/chirp.rs crates/vibration/src/motion.rs crates/vibration/src/wearable.rs
+
+crates/vibration/src/lib.rs:
+crates/vibration/src/accelerometer.rs:
+crates/vibration/src/chirp.rs:
+crates/vibration/src/motion.rs:
+crates/vibration/src/wearable.rs:

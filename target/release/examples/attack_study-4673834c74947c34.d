@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_study-4673834c74947c34.d: examples/attack_study.rs
+
+/root/repo/target/release/examples/attack_study-4673834c74947c34: examples/attack_study.rs
+
+examples/attack_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_tail_debug-5410a5c173575bbe.d: crates/eval/examples/attack_tail_debug.rs
+
+/root/repo/target/release/examples/attack_tail_debug-5410a5c173575bbe: crates/eval/examples/attack_tail_debug.rs
+
+crates/eval/examples/attack_tail_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/brnn_debug-2fc4fb0b9586bba0.d: crates/defense/examples/brnn_debug.rs
+
+/root/repo/target/release/examples/brnn_debug-2fc4fb0b9586bba0: crates/defense/examples/brnn_debug.rs
+
+crates/defense/examples/brnn_debug.rs:

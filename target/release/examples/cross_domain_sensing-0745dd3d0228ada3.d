@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cross_domain_sensing-0745dd3d0228ada3.d: examples/cross_domain_sensing.rs
+
+/root/repo/target/release/examples/cross_domain_sensing-0745dd3d0228ada3: examples/cross_domain_sensing.rs
+
+examples/cross_domain_sensing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/curve_debug-2935c4d8772bb607.d: crates/defense/examples/curve_debug.rs
+
+/root/repo/target/release/examples/curve_debug-2935c4d8772bb607: crates/defense/examples/curve_debug.rs
+
+crates/defense/examples/curve_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/detection_eval-79c80310c564e35b.d: examples/detection_eval.rs
+
+/root/repo/target/release/examples/detection_eval-79c80310c564e35b: examples/detection_eval.rs
+
+examples/detection_eval.rs:

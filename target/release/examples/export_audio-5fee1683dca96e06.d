@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/export_audio-5fee1683dca96e06.d: examples/export_audio.rs
+
+/root/repo/target/release/examples/export_audio-5fee1683dca96e06: examples/export_audio.rs
+
+examples/export_audio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/guard_deployment-87df6af3788d8a1e.d: examples/guard_deployment.rs
+
+/root/repo/target/release/examples/guard_deployment-87df6af3788d8a1e: examples/guard_deployment.rs
+
+examples/guard_deployment.rs:

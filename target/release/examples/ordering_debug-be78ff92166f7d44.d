@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ordering_debug-be78ff92166f7d44.d: crates/eval/examples/ordering_debug.rs
+
+/root/repo/target/release/examples/ordering_debug-be78ff92166f7d44: crates/eval/examples/ordering_debug.rs
+
+crates/eval/examples/ordering_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/phoneme_selection-b15a0a1c28826ae0.d: examples/phoneme_selection.rs
+
+/root/repo/target/release/examples/phoneme_selection-b15a0a1c28826ae0: examples/phoneme_selection.rs
+
+examples/phoneme_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-62618f81626d37fc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-62618f81626d37fc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan-3b3c7ef04949690e.d: crates/eval/examples/seed_scan.rs
+
+/root/repo/target/release/examples/seed_scan-3b3c7ef04949690e: crates/eval/examples/seed_scan.rs
+
+crates/eval/examples/seed_scan.rs:

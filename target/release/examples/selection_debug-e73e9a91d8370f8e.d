@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/selection_debug-e73e9a91d8370f8e.d: crates/defense/examples/selection_debug.rs
+
+/root/repo/target/release/examples/selection_debug-e73e9a91d8370f8e: crates/defense/examples/selection_debug.rs
+
+crates/defense/examples/selection_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/table1_debug-d30190e28e7833a5.d: crates/eval/examples/table1_debug.rs
+
+/root/repo/target/release/examples/table1_debug-d30190e28e7833a5: crates/eval/examples/table1_debug.rs
+
+crates/eval/examples/table1_debug.rs:

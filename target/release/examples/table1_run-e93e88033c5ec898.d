@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/table1_run-e93e88033c5ec898.d: crates/eval/examples/table1_run.rs
+
+/root/repo/target/release/examples/table1_run-e93e88033c5ec898: crates/eval/examples/table1_run.rs
+
+crates/eval/examples/table1_run.rs:

@@ -16,7 +16,11 @@ fn full_system_separates_attacks_from_users() {
     let mut attack_scores = Vec::new();
     for _ in 0..6 {
         let legit = ctx.legitimate_trial();
-        legit_scores.push(system.score(&legit.va_recording, &legit.wearable_recording, &mut ctx.rng));
+        legit_scores.push(system.score(
+            &legit.va_recording,
+            &legit.wearable_recording,
+            &mut ctx.rng,
+        ));
         let attack = ctx.replay_attack_trial();
         attack_scores.push(system.score(
             &attack.va_recording,
@@ -61,14 +65,24 @@ fn method_ordering_matches_paper() {
     // Audio baseline must separate worse than the vibration methods.
     let mut ctx = TrialContext::seeded(1003);
     let system = DefenseSystem::paper_default();
-    let mut gap = |method: DefenseMethod, ctx: &mut TrialContext| -> f32 {
+    let gap = |method: DefenseMethod, ctx: &mut TrialContext| -> f32 {
         let mut legit = 0.0;
         let mut attack = 0.0;
         for _ in 0..5 {
             let l = ctx.legitimate_trial();
-            legit += system.score_with_method(method, &l.va_recording, &l.wearable_recording, &mut ctx.rng);
+            legit += system.score_with_method(
+                method,
+                &l.va_recording,
+                &l.wearable_recording,
+                &mut ctx.rng,
+            );
             let a = ctx.replay_attack_trial();
-            attack += system.score_with_method(method, &a.va_recording, &a.wearable_recording, &mut ctx.rng);
+            attack += system.score_with_method(
+                method,
+                &a.va_recording,
+                &a.wearable_recording,
+                &mut ctx.rng,
+            );
         }
         (legit - attack) / 5.0
     };

@@ -32,9 +32,7 @@ fn selection_feeds_detector_training_end_to_end() {
     // always drops the weak fricatives.
     let selected = selection.selected_ids();
     assert!(selected.len() >= 25, "selected {}", selected.len());
-    assert!(!selection
-        .selected_symbols()
-        .contains(&"s"));
+    assert!(!selection.selected_symbols().contains(&"s"));
 
     let sensitive: HashSet<PhonemeId> = selected.into_iter().collect();
     let synth = Synthesizer::new(16_000);
@@ -44,7 +42,7 @@ fn selection_feeds_detector_training_end_to_end() {
         &corpus,
         &DetectorTrainConfig {
             hidden_size: 12,
-            epochs: 2,
+            epochs: 3,
             ..Default::default()
         },
         &mut rng,
@@ -120,7 +118,12 @@ fn hidden_voice_still_triggers_wake_matcher_but_fails_defense() {
         SpeakerProfile::reference_female(),
     ]
     .iter()
-    .map(|sp| synth.synthesize_command(wake, sp, &mut rng).audio.into_samples())
+    .map(|sp| {
+        synth
+            .synthesize_command(wake, sp, &mut rng)
+            .audio
+            .into_samples()
+    })
     .collect();
     let device = VaDevice::paper_device(VaModel::GoogleHome, &templates);
 

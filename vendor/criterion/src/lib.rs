@@ -1,0 +1,179 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`] and the `criterion_group!` / `criterion_main!`
+//! macros — measuring wall-clock medians with a per-bench time budget
+//! instead of criterion's full statistical analysis. When invoked with
+//! `--test` (as `cargo test --benches` does) each bench body runs once,
+//! untimed, so benches double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-bench wall-clock budget once warmed up.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Benchmark harness entry point (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a harness from the process CLI arguments. `--test` puts it
+    /// in test mode (run each bench once, untimed); other flags that the
+    /// real criterion accepts are ignored.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 60,
+        }
+    }
+
+    /// Prints the closing line after all groups have run.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the workload.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+        } else {
+            bencher.samples.sort_unstable();
+            let median = bencher
+                .samples
+                .get(bencher.samples.len() / 2)
+                .copied()
+                .unwrap_or_default();
+            println!(
+                "{}/{}: median {:?} ({} samples)",
+                self.name,
+                id,
+                median,
+                bencher.samples.len()
+            );
+        }
+        self
+    }
+
+    /// Ends the group (kept for API parity; all reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one wall-clock sample per call,
+    /// until the sample cap or the time budget is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // One warmup to populate caches and lazy state.
+        std::hint::black_box(f());
+        let cap = 600;
+        let start = Instant::now();
+        while self.samples.len() < cap && start.elapsed() < TIME_BUDGET {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_record_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        let mut calls = 0u32;
+        group.bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert!(calls >= 2, "warmup + at least one sample, got {calls}");
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("demo");
+        let mut calls = 0u32;
+        group.bench_function("single", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait with
+//! numeric-range and `prop::collection::vec` strategies, `ProptestConfig`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Inputs
+//! are sampled from a per-test deterministic RNG (seeded from the test
+//! name), so failures are reproducible run-to-run. Shrinking is not
+//! implemented: a failing case reports the panic from its assertion
+//! directly instead of a minimized counterexample.
+
+#![warn(missing_docs)]
+
+/// Strategies: recipes for generating random test inputs.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Samples one value using `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Size specification for collection strategies: either an exact
+    /// length or a range of lengths.
+    pub trait SizeRange {
+        /// Samples a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element
+    /// strategy; see [`crate::prop::collection::vec`].
+    pub struct VecStrategy<S, L> {
+        pub(crate) element: S,
+        pub(crate) size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (mirror of `proptest::test_runner`).
+pub mod test_runner {
+    /// Controls how many random cases each property test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Namespaced strategy constructors (mirror of `proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy for `Vec`s whose elements come from `element` and
+        /// whose length comes from `size` (a `usize` or `Range<usize>`).
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+
+    /// Deterministic per-(test, case) seed so failures reproduce.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        case.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body against `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$attr])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    $crate::__rt::case_seed(concat!(module_path!(), "::", stringify!($name)), __case),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // Bodies may `return Ok(())` early, as under real proptest,
+                // so each case runs inside a Result-returning closure.
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::std::result::Result<(), ::std::boxed::Box<dyn ::std::error::Error>> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!("proptest case {__case} returned error: {e}");
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_length_spec() {
+        use crate::__rt::{SeedableRng, StdRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let fixed = prop::collection::vec(-1.0f32..1.0, 5usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 5);
+        let ranged = prop::collection::vec(0.0f32..1.0, 2usize..7);
+        for _ in 0..50 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_samples_within_ranges(x in -2.0f32..2.0, n in 1usize..9) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn nested_vec_strategy_works(
+            rows in prop::collection::vec(prop::collection::vec(0.0f32..1.0, 3usize), 1usize..4),
+        ) {
+            prop_assert!(!rows.is_empty());
+            for r in &rows {
+                prop_assert_eq!(r.len(), 3);
+            }
+        }
+    }
+}
