@@ -21,13 +21,21 @@ use thrubarrier_dsp::mel::MfccExtractor;
 use thrubarrier_dsp::{correlate, fft, gen, Stft};
 use thrubarrier_eval::runner::score_trial;
 use thrubarrier_eval::scenario::TrialContext;
+use thrubarrier_nn::model::{BrnnClassifier, TrainConfig};
 use thrubarrier_vibration::Wearable;
 
-/// Median wall-clock nanoseconds of `f` over `iters` timed runs.
+/// Timed runs discarded before measurement starts (fills FFT-plan and
+/// response-curve caches, allocator pools, and branch predictors).
+const WARMUP_ITERS: usize = 3;
+
+/// Median wall-clock nanoseconds of `f` over `iters` timed runs, after
+/// warm-up and outlier rejection: the top and bottom decile of samples
+/// are dropped before taking the median, so a stray scheduler hiccup in
+/// one run cannot move the reported figure between PRs.
 fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u64 {
-    // Warm up caches (FFT plans, response curves, allocator pools).
-    f();
-    f();
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
     let mut samples: Vec<u64> = (0..iters)
         .map(|_| {
             let t = Instant::now();
@@ -36,7 +44,9 @@ fn median_ns<F: FnMut()>(iters: usize, mut f: F) -> u64 {
         })
         .collect();
     samples.sort_unstable();
-    samples[samples.len() / 2]
+    let trim = samples.len() / 10;
+    let kept = &samples[trim..samples.len() - trim];
+    kept[kept.len() / 2]
 }
 
 fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
@@ -121,6 +131,43 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         );
     }
 
+    // The BRNN phoneme detector at paper dimensions (14 MFCCs, 64 LSTM
+    // units per direction, 2 classes) segmenting one second of audio —
+    // the per-verification inference cost of the online detector.
+    let mut rng = StdRng::seed_from_u64(4);
+    let brnn = BrnnClassifier::new(mfcc.n_coeffs(), 64, 2, &mut rng);
+    let feats = mfcc.extract(&gen::chirp(100.0, 900.0, 0.4, 16_000, 1.0));
+    out.insert(
+        "brnn_segment_1s",
+        median_ns(iters.max(32), || {
+            black_box(brnn.predict(black_box(&feats)));
+        }),
+    );
+
+    // One optimizer step over a small batch (forward + BPTT + ADAM), the
+    // unit of detector training cost.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut trainee = BrnnClassifier::new(mfcc.n_coeffs(), 64, 2, &mut rng);
+    let seqs: Vec<(Vec<Vec<f32>>, Vec<usize>)> = (0..4)
+        .map(|i| {
+            let audio = gen::chirp(100.0 + 50.0 * i as f32, 900.0, 0.4, 16_000, 0.4);
+            let xs = mfcc.extract(&audio);
+            let ys = (0..xs.len()).map(|t| t % 2).collect();
+            (xs, ys)
+        })
+        .collect();
+    let batch: Vec<(&[Vec<f32>], &[usize])> = seqs
+        .iter()
+        .map(|(x, y)| (x.as_slice(), y.as_slice()))
+        .collect();
+    let train_cfg = TrainConfig::default();
+    out.insert(
+        "brnn_train_step",
+        median_ns(iters.max(32), || {
+            black_box(trainee.train_step(black_box(&batch), &train_cfg));
+        }),
+    );
+
     // The end-to-end pipeline: synthesize + propagate + record a trial,
     // then score it with all three methods (the eval runner's hot loop).
     let mut trial_seed = 0u64;
@@ -188,6 +235,7 @@ fn main() {
     let mut label = "post".to_string();
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut iters = 15usize;
+    let mut best_of = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -200,16 +248,36 @@ fn main() {
                     .parse()
                     .expect("--iters must be an integer")
             }
+            "--best-of" => {
+                best_of = args
+                    .next()
+                    .expect("--best-of needs a value")
+                    .parse()
+                    .expect("--best-of must be an integer")
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: bench_json [--label NAME] [--out FILE] [--iters N]");
+                eprintln!(
+                    "usage: bench_json [--label NAME] [--out FILE] [--iters N] [--best-of N]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    eprintln!("benchmarking ({iters} iterations per stage) ...");
-    let stages = run_stages(iters);
+    // On shared hosts whole seconds-long windows can run a small integer
+    // factor slow (CPU steal, frequency excursions); a median within one
+    // sweep cannot reject that. `--best-of N` repeats the entire sweep
+    // and keeps each stage's minimum median, approximating quiet-window
+    // performance for every label symmetrically.
+    eprintln!("benchmarking ({iters} iterations per stage, best of {best_of} sweeps) ...");
+    let mut stages = run_stages(iters);
+    for _ in 1..best_of.max(1) {
+        for (name, ns) in run_stages(iters) {
+            let slot = stages.entry(name).or_insert(ns);
+            *slot = (*slot).min(ns);
+        }
+    }
     for (name, ns) in &stages {
         eprintln!("  {name}: {:.3} ms", *ns as f64 / 1e6);
     }

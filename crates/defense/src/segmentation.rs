@@ -6,12 +6,18 @@
 //! follows the paper: 25 ms frames with 10 ms hop, 40 mel filters over
 //! 0–900 Hz (deliberately low — thru-barrier sounds have no high
 //! frequencies left), 14 cepstral coefficients.
+//!
+//! Inference rides the fused-gate BRNN engine in `thrubarrier_nn`: the
+//! per-verification `sensitive_frames` call records no backward-pass
+//! state, and [`PhonemeDetector::sensitive_frames_batch`] additionally
+//! reuses one [`GemmScratch`] across recordings.
 
 use rand::Rng;
 use std::collections::HashSet;
 use thrubarrier_dsp::mel::MfccExtractor;
 use thrubarrier_nn::model::{BrnnClassifier, TrainConfig};
 use thrubarrier_nn::param::AdamConfig;
+use thrubarrier_nn::GemmScratch;
 use thrubarrier_phoneme::corpus::{frame_labels, LabelledUtterance};
 use thrubarrier_phoneme::inventory::PhonemeId;
 
@@ -216,6 +222,25 @@ impl PhonemeDetector {
         &self.mfcc
     }
 
+    /// Marks the sensitive frames of many recordings, streaming all BRNN
+    /// inference through one reusable [`GemmScratch`] so batch scoring
+    /// (the eval runner, threshold sweeps) allocates nothing per
+    /// utterance beyond the masks themselves.
+    pub fn sensitive_frames_batch(&self, recordings: &[&[f32]]) -> Vec<Vec<bool>> {
+        let mut scratch = GemmScratch::new();
+        recordings
+            .iter()
+            .map(|audio| {
+                let feats = self.mfcc.extract(audio);
+                self.model
+                    .predict_with_scratch(&feats, &mut scratch)
+                    .into_iter()
+                    .map(|c| c == 1)
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Serializes the trained detector (sensitive-phoneme set + BRNN
     /// weights). Train once, ship the bytes.
     ///
@@ -415,6 +440,28 @@ mod tests {
             back.sensitive_frames(audio, 16_000),
             det.sensitive_frames(audio, 16_000)
         );
+    }
+
+    #[test]
+    fn batch_masks_match_per_call_masks() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let panel = speaker_panel(1, 1, &mut rng);
+        let synth = Synthesizer::new(16_000);
+        let corpus = training_corpus(&synth, 4, &panel, &mut rng);
+        let sensitive: HashSet<PhonemeId> =
+            [Inventory::by_symbol("ih").unwrap()].into_iter().collect();
+        let cfg = DetectorTrainConfig {
+            hidden_size: 8,
+            epochs: 1,
+            batch_size: 4,
+            learning_rate: 3e-3,
+        };
+        let det = PhonemeDetector::train(&sensitive, &corpus, &cfg, &mut rng);
+        let recordings: Vec<&[f32]> = corpus.iter().map(|u| u.utterance.audio.samples()).collect();
+        let batch = det.sensitive_frames_batch(&recordings);
+        for (audio, mask) in recordings.iter().zip(&batch) {
+            assert_eq!(mask, &det.sensitive_frames(audio, 16_000));
+        }
     }
 
     #[test]

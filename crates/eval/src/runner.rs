@@ -6,8 +6,7 @@ use crate::scenario::{Trial, TrialGenerator, TrialSettings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
 use thrubarrier_attack::AttackKind;
 use thrubarrier_defense::segmentation::{
     DetectorTrainConfig, EnergySelector, PhonemeDetector, SegmentSelector,
@@ -207,26 +206,21 @@ impl Runner {
         let cfg = &self.config;
         let n_threads = cfg.threads.max(1);
         let chunks: Vec<Vec<TrialPlan>> = split_round_robin(&plans, n_threads);
+        let utterances = UtteranceCache::default();
         let results: Vec<Vec<(TrialPlan, [f32; 3])>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .map(|chunk| {
                     let system = &system;
+                    let utterances = &utterances;
                     scope.spawn(move || {
                         let generator = TrialGenerator::new();
                         let bank = CommandBank::standard();
-                        let mut utterances = UtteranceCache::default();
                         chunk
                             .iter()
                             .map(|plan| {
-                                let scores = execute_plan(
-                                    plan,
-                                    cfg,
-                                    &generator,
-                                    &bank,
-                                    system,
-                                    &mut utterances,
-                                );
+                                let scores =
+                                    execute_plan(plan, cfg, &generator, &bank, system, utterances);
                                 (plan.clone(), scores)
                             })
                             .collect()
@@ -333,33 +327,51 @@ fn utterance_seed(master_seed: u64, user: usize, command: usize) -> u64 {
         .wrapping_add(((user as u64) << 32) ^ (command as u64) ^ 0x7E57_1E55)
 }
 
-/// Per-worker memo of synthesized command audio. A cell (user, command)
-/// is rendered once per worker and reused by every trial that presents
-/// it — synthesis dominated legitimate-trial cost before this.
+/// Shared, read-mostly memo of synthesized command audio. One instance
+/// serves *all* worker threads of a run: a cell (user, command) is
+/// rendered once per run instead of once per worker, so synthesis cost
+/// no longer scales with thread count on large panels.
+///
+/// Concurrency story: lookups take the [`RwLock`] read side (the common
+/// case once the cache is warm, so workers never serialize on it);
+/// misses synthesize *outside* any lock and then race to insert. Because
+/// a rendition is a pure function of (master seed, user, command) — see
+/// [`utterance_seed`] — racing workers produce identical audio and it
+/// does not matter whose [`Arc`] wins. The legitimate speaker panel is
+/// derived once into a [`OnceLock`] rather than re-deriving profiles per
+/// lookup.
 #[derive(Default)]
 struct UtteranceCache {
-    map: HashMap<(usize, usize), Rc<Vec<f32>>>,
+    panel: OnceLock<Vec<SpeakerProfile>>,
+    map: RwLock<RenditionMap>,
 }
+
+/// Rendition audio keyed by `(user, command index)`.
+type RenditionMap = HashMap<(usize, usize), Arc<Vec<f32>>>;
 
 impl UtteranceCache {
     fn get(
-        &mut self,
+        &self,
         cfg: &RunnerConfig,
         generator: &TrialGenerator,
         bank: &CommandBank,
         user: usize,
         command: usize,
-    ) -> Rc<Vec<f32>> {
+    ) -> Arc<Vec<f32>> {
         let key = (user, command % bank.len());
-        self.map
-            .entry(key)
-            .or_insert_with(|| {
-                let speaker = participant(cfg.seed, user);
-                let cmd = &bank.commands()[key.1];
-                let mut rng = StdRng::seed_from_u64(utterance_seed(cfg.seed, user, key.1));
-                Rc::new(generator.utterance_audio(cmd, &speaker, &mut rng))
-            })
-            .clone()
+        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        let panel = self.panel.get_or_init(|| {
+            (0..cfg.participants)
+                .map(|i| participant(cfg.seed, i))
+                .collect()
+        });
+        let cmd = &bank.commands()[key.1];
+        let mut rng = StdRng::seed_from_u64(utterance_seed(cfg.seed, user, key.1));
+        let audio = Arc::new(generator.utterance_audio(cmd, &panel[user], &mut rng));
+        let mut map = self.map.write().expect("cache lock poisoned");
+        Arc::clone(map.entry(key).or_insert(audio))
     }
 }
 
@@ -369,7 +381,7 @@ fn execute_plan(
     generator: &TrialGenerator,
     bank: &CommandBank,
     system: &DefenseSystem,
-    utterances: &mut UtteranceCache,
+    utterances: &UtteranceCache,
 ) -> [f32; 3] {
     let (trial, seed) = match plan {
         TrialPlan::Legitimate {
@@ -485,28 +497,35 @@ mod tests {
 
     #[test]
     fn utterance_memo_leaves_scores_unchanged() {
-        // Different thread counts give the per-worker caches different
-        // hit/miss patterns; identical score multisets prove the memo
-        // hands back exactly what fresh synthesis would.
-        let mut one = tiny_config();
-        one.threads = 1;
-        let mut four = tiny_config();
-        four.threads = 4;
-        let a = Runner::new(one).run();
-        let b = Runner::new(four).run();
+        // Different thread counts give the shared cache different race
+        // and interleaving patterns; identical score multisets across
+        // threads ∈ {1, 4, 8} prove the memo hands back exactly what
+        // fresh synthesis would, regardless of which worker populated a
+        // cell first.
+        let runs: Vec<EvalOutcome> = [1usize, 4, 8]
+            .into_iter()
+            .map(|threads| {
+                let mut cfg = tiny_config();
+                cfg.threads = threads;
+                Runner::new(cfg).run()
+            })
+            .collect();
         let sorted = |mut v: Vec<f32>| {
             v.sort_by(f32::total_cmp);
             v
         };
-        for (m, pool) in &a.pools {
-            assert_eq!(
-                sorted(pool.legitimate.clone()),
-                sorted(b.pool(*m).legitimate.clone())
-            );
-            assert_eq!(
-                sorted(pool.attack_scores()),
-                sorted(b.pool(*m).attack_scores())
-            );
+        let reference = &runs[0];
+        for other in &runs[1..] {
+            for (m, pool) in &reference.pools {
+                assert_eq!(
+                    sorted(pool.legitimate.clone()),
+                    sorted(other.pool(*m).legitimate.clone())
+                );
+                assert_eq!(
+                    sorted(pool.attack_scores()),
+                    sorted(other.pool(*m).attack_scores())
+                );
+            }
         }
     }
 
@@ -515,7 +534,7 @@ mod tests {
         let cfg = tiny_config();
         let generator = TrialGenerator::new();
         let bank = CommandBank::standard();
-        let mut cache = UtteranceCache::default();
+        let cache = UtteranceCache::default();
         let warm = cache.get(&cfg, &generator, &bank, 1, 1);
         let fresh = {
             let speaker = participant(cfg.seed, 1);
@@ -524,7 +543,38 @@ mod tests {
         };
         assert_eq!(*warm, fresh);
         let again = cache.get(&cfg, &generator, &bank, 1, 1);
-        assert!(Rc::ptr_eq(&warm, &again), "second lookup must be a hit");
+        assert!(Arc::ptr_eq(&warm, &again), "second lookup must be a hit");
+    }
+
+    #[test]
+    fn utterance_cache_is_shared_across_threads() {
+        // Two threads asking for the same cell must end up with the same
+        // allocation — the cache is per-run, not per-worker.
+        let cfg = tiny_config();
+        let cache = UtteranceCache::default();
+        let (a, b) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cache = &cache;
+                    let cfg = &cfg;
+                    scope.spawn(move || {
+                        let generator = TrialGenerator::new();
+                        let bank = CommandBank::standard();
+                        cache.get(cfg, &generator, &bank, 0, 1)
+                    })
+                })
+                .collect();
+            let mut out = handles.into_iter().map(|h| h.join().unwrap());
+            (out.next().unwrap(), out.next().unwrap())
+        });
+        assert_eq!(*a, *b, "racing synthesis must be identical");
+        let generator = TrialGenerator::new();
+        let bank = CommandBank::standard();
+        let later = cache.get(&cfg, &generator, &bank, 0, 1);
+        assert!(
+            Arc::ptr_eq(&a, &later) || Arc::ptr_eq(&b, &later),
+            "later lookups must hit the allocation one of the racers installed"
+        );
     }
 
     #[test]

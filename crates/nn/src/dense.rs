@@ -63,6 +63,16 @@ impl Dense {
         self.w.value.cols()
     }
 
+    /// Applies the layer to one frame without recording backward-pass
+    /// state — the inference path.
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.w.value.matvec(x);
+        for (v, &bias) in y.iter_mut().zip(self.b.value.data()) {
+            *v += bias;
+        }
+        y
+    }
+
     /// Applies the layer to every frame in the sequence.
     pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, DenseCache) {
         let outs = xs

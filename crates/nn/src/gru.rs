@@ -5,43 +5,47 @@
 //! same architecture comparison for the phoneme detector (see the
 //! `detector_architectures` extension experiment). Gate layout is
 //! `[z, r, n]` (update, reset, candidate).
+//!
+//! The compute engine mirrors [`crate::lstm`]: fused `3H x D` / `3H x H`
+//! weight matrices, one time-batched [`Matrix::matmul_nt`] GEMM for all
+//! input projections `W·x_t` before the recurrence, flat row-major
+//! activation caches, and batched `dW += dZᵀ·X` gradient GEMMs. The GRU
+//! keeps *two* flat gradient buffers because the candidate gate's
+//! recurrent gradient is scaled by the reset gate, so the `U`-side gate
+//! matrix differs from the `W`-side one.
 
-use crate::matrix::Matrix;
+use crate::act::{sigmoid, tanh};
+use crate::matrix::{pack_rows, GemmScratch, Matrix};
 use crate::param::Param;
 use rand::Rng;
-
-#[inline]
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
 
 /// A single-direction GRU layer.
 #[derive(Debug, Clone)]
 pub struct Gru {
-    /// Input weights, `3H x D`.
+    /// Input weights, fused `3H x D` (`[z, r, n]` gate blocks stacked).
     pub w: Param,
-    /// Recurrent weights, `3H x H`.
+    /// Recurrent weights, fused `3H x H`.
     pub u: Param,
-    /// Bias, `3H x 1`.
+    /// Bias, fused `3H x 1`.
     pub b: Param,
     input_size: usize,
     hidden_size: usize,
 }
 
-#[derive(Debug, Clone)]
-struct StepCache {
-    x: Vec<f32>,
-    h_prev: Vec<f32>,
-    z: Vec<f32>,
-    r: Vec<f32>,
-    n: Vec<f32>,
-    un_h: Vec<f32>,
-}
-
-/// Forward-pass cache for a sequence.
+/// Forward-pass activations for a whole sequence, stored as flat
+/// row-major buffers (`T` rows each).
 #[derive(Debug, Clone)]
 pub struct GruCache {
-    steps: Vec<StepCache>,
+    t: usize,
+    /// Packed inputs, `T x D` (processing order).
+    x: Vec<f32>,
+    /// Hidden state entering each step, `T x H`.
+    h_prev: Vec<f32>,
+    /// Activated gates `[z, r, n]` per step, `T x 3H`.
+    gates: Vec<f32>,
+    /// The candidate gate's recurrent pre-activation `(U·h)_n`, `T x H`
+    /// (needed to route gradients through the reset gate).
+    un_h: Vec<f32>,
 }
 
 impl Gru {
@@ -72,41 +76,72 @@ impl Gru {
     ///
     /// Panics if an input vector's length differs from the input size.
     pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, GruCache) {
-        let hs = self.hidden_size;
-        let mut h = vec![0.0f32; hs];
-        let mut outputs = Vec::with_capacity(xs.len());
-        let mut steps = Vec::with_capacity(xs.len());
-        for x in xs {
-            assert_eq!(x.len(), self.input_size, "input dimension mismatch");
-            let wx = self.w.value.matvec(x);
-            let uh = self.u.value.matvec(&h);
-            let b = self.b.value.data();
-            let mut z = vec![0.0f32; hs];
-            let mut r = vec![0.0f32; hs];
-            for k in 0..hs {
-                z[k] = sigmoid(wx[k] + uh[k] + b[k]);
-                r[k] = sigmoid(wx[hs + k] + uh[hs + k] + b[hs + k]);
+        let mut scratch = GemmScratch::new();
+        self.forward_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`Gru::forward`] streaming through a reusable [`GemmScratch`].
+    pub fn forward_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> (Vec<Vec<f32>>, GruCache) {
+        self.forward_dir(xs, false, scratch)
+    }
+
+    /// Direction-aware forward pass (`reversed` consumes the sequence in
+    /// reverse time order without cloning it).
+    pub(crate) fn forward_dir(
+        &self,
+        xs: &[Vec<f32>],
+        reversed: bool,
+        scratch: &mut GemmScratch,
+    ) -> (Vec<Vec<f32>>, GruCache) {
+        let t_len = xs.len();
+        let hl = self.hidden_size;
+        let mut cache = GruCache {
+            t: t_len,
+            x: Vec::new(),
+            h_prev: vec![0.0; t_len * hl],
+            gates: vec![0.0; t_len * 3 * hl],
+            un_h: vec![0.0; t_len * hl],
+        };
+        pack_rows(xs, self.input_size, reversed, &mut cache.x);
+        self.w
+            .value
+            .matmul_nt_into(&cache.x, t_len, &mut scratch.proj);
+        scratch.z.clear();
+        scratch.z.resize(3 * hl, 0.0);
+        scratch.state.clear();
+        scratch.state.resize(hl, 0.0);
+        let h = &mut scratch.state[..];
+        let bias = self.b.value.data();
+        let mut outputs = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            cache.h_prev[t * hl..(t + 1) * hl].copy_from_slice(h);
+            // uh = U·h_{t-1}; the n-block is kept *separate* from the
+            // input projection because it is gated by r before entering
+            // tanh.
+            self.u.value.matvec_into(h, &mut scratch.z);
+            let uh = &scratch.z;
+            let wx = &scratch.proj[t * 3 * hl..(t + 1) * 3 * hl];
+            let gates = &mut cache.gates[t * 3 * hl..(t + 1) * 3 * hl];
+            let un_h = &mut cache.un_h[t * hl..(t + 1) * hl];
+            for k in 0..hl {
+                gates[k] = sigmoid(wx[k] + uh[k] + bias[k]);
+                gates[hl + k] = sigmoid(wx[hl + k] + uh[hl + k] + bias[hl + k]);
+                un_h[k] = uh[2 * hl + k];
             }
-            let un_h: Vec<f32> = (0..hs).map(|k| uh[2 * hs + k]).collect();
-            let mut n = vec![0.0f32; hs];
-            for k in 0..hs {
-                n[k] = (wx[2 * hs + k] + r[k] * un_h[k] + b[2 * hs + k]).tanh();
+            for k in 0..hl {
+                gates[2 * hl + k] =
+                    tanh(wx[2 * hl + k] + gates[hl + k] * un_h[k] + bias[2 * hl + k]);
             }
-            let h_prev = h.clone();
-            for k in 0..hs {
-                h[k] = (1.0 - z[k]) * n[k] + z[k] * h_prev[k];
+            for k in 0..hl {
+                h[k] = (1.0 - gates[k]) * gates[2 * hl + k] + gates[k] * h[k];
             }
-            outputs.push(h.clone());
-            steps.push(StepCache {
-                x: x.clone(),
-                h_prev,
-                z,
-                r,
-                n,
-                un_h,
-            });
+            outputs.push(h.to_vec());
         }
-        (outputs, GruCache { steps })
+        (outputs, cache)
     }
 
     /// Backpropagates through time, accumulating parameter gradients and
@@ -116,53 +151,70 @@ impl Gru {
     ///
     /// Panics if `dhs.len()` differs from the cached sequence length.
     pub fn backward(&mut self, cache: &GruCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        assert_eq!(dhs.len(), cache.steps.len(), "gradient length mismatch");
-        let hs = self.hidden_size;
-        let mut dxs = vec![vec![0.0f32; self.input_size]; dhs.len()];
-        let mut dh_next = vec![0.0f32; hs];
-        for t in (0..cache.steps.len()).rev() {
-            let s = &cache.steps[t];
-            let mut dh: Vec<f32> = dhs[t].clone();
-            for (a, b) in dh.iter_mut().zip(&dh_next) {
-                *a += b;
+        let mut scratch = GemmScratch::new();
+        self.backward_with_scratch(cache, dhs, &mut scratch)
+    }
+
+    /// [`Gru::backward`] streaming through a reusable [`GemmScratch`].
+    pub fn backward_with_scratch(
+        &mut self,
+        cache: &GruCache,
+        dhs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(dhs.len(), cache.t, "gradient length mismatch");
+        let hl = self.hidden_size;
+        let t_len = cache.t;
+        let mut dxs = vec![vec![0.0f32; self.input_size]; t_len];
+        let GemmScratch {
+            dz, dz_u, dstate, ..
+        } = scratch;
+        dz.clear();
+        dz.resize(t_len * 3 * hl, 0.0);
+        dz_u.clear();
+        dz_u.resize(t_len * 3 * hl, 0.0);
+        dstate.clear();
+        dstate.resize(3 * hl, 0.0);
+        let (dh_next, rest) = dstate.split_at_mut(hl);
+        let (dh, dtmp) = rest.split_at_mut(hl);
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t * 3 * hl..(t + 1) * 3 * hl];
+            let (gz, gr, gn) = (&gates[..hl], &gates[hl..2 * hl], &gates[2 * hl..]);
+            let h_prev = &cache.h_prev[t * hl..(t + 1) * hl];
+            let un_h = &cache.un_h[t * hl..(t + 1) * hl];
+            let dz_t = &mut dz[t * 3 * hl..(t + 1) * 3 * hl];
+            let du_t = &mut dz_u[t * 3 * hl..(t + 1) * 3 * hl];
+            for k in 0..hl {
+                dh[k] = dhs[t][k] + dh_next[k];
+                let d_z = dh[k] * (h_prev[k] - gn[k]);
+                let d_n = dh[k] * (1.0 - gz[k]);
+                let dz_pre = d_z * gz[k] * (1.0 - gz[k]);
+                let dn_pre = d_n * (1.0 - gn[k] * gn[k]);
+                let d_r = dn_pre * un_h[k];
+                let dr_pre = d_r * gr[k] * (1.0 - gr[k]);
+                dz_t[k] = dz_pre;
+                dz_t[hl + k] = dr_pre;
+                dz_t[2 * hl + k] = dn_pre;
+                // U-side rows: z and r see h_prev directly; the n rows
+                // see h_prev through the reset gate.
+                du_t[k] = dz_pre;
+                du_t[hl + k] = dr_pre;
+                du_t[2 * hl + k] = dn_pre * gr[k];
             }
-            let mut dz_pre = vec![0.0f32; hs];
-            let mut dr_pre = vec![0.0f32; hs];
-            let mut dn_pre = vec![0.0f32; hs];
-            let mut dh_prev = vec![0.0f32; hs];
-            for k in 0..hs {
-                let dz = dh[k] * (s.h_prev[k] - s.n[k]);
-                let dn = dh[k] * (1.0 - s.z[k]);
-                dh_prev[k] += dh[k] * s.z[k];
-                dz_pre[k] = dz * s.z[k] * (1.0 - s.z[k]);
-                dn_pre[k] = dn * (1.0 - s.n[k] * s.n[k]);
-                let dr = dn_pre[k] * s.un_h[k];
-                dr_pre[k] = dr * s.r[k] * (1.0 - s.r[k]);
+            self.w.value.matvec_transposed_into(dz_t, &mut dxs[t]);
+            self.u.value.matvec_transposed_into(du_t, dtmp);
+            for k in 0..hl {
+                dh_next[k] = dh[k] * gz[k] + dtmp[k];
             }
-            // Stack gate pre-activation gradients: [z, r, n].
-            let mut dgates = vec![0.0f32; 3 * hs];
-            dgates[..hs].copy_from_slice(&dz_pre);
-            dgates[hs..2 * hs].copy_from_slice(&dr_pre);
-            dgates[2 * hs..].copy_from_slice(&dn_pre);
-            self.w.grad.add_outer(&dgates, &s.x);
-            for (slot, &d) in self.b.grad.data_mut().iter_mut().zip(&dgates) {
+        }
+        // Weight gradients as batched GEMMs over the whole sequence.
+        self.w.grad.add_tn_product(dz, &cache.x, t_len);
+        self.u.grad.add_tn_product(dz_u, &cache.h_prev, t_len);
+        let bg = self.b.grad.data_mut();
+        for row in dz.chunks_exact(3 * hl) {
+            for (slot, &d) in bg.iter_mut().zip(row) {
                 *slot += d;
             }
-            // U gradients: z and r rows see h_prev directly; the n rows
-            // see h_prev through the reset gate.
-            let mut du_rows = vec![0.0f32; 3 * hs];
-            du_rows[..hs].copy_from_slice(&dz_pre);
-            du_rows[hs..2 * hs].copy_from_slice(&dr_pre);
-            for k in 0..hs {
-                du_rows[2 * hs + k] = dn_pre[k] * s.r[k];
-            }
-            self.u.grad.add_outer(&du_rows, &s.h_prev);
-            dxs[t] = self.w.value.matvec_transposed(&dgates);
-            let dh_through_u = self.u.value.matvec_transposed(&du_rows);
-            for (a, b) in dh_prev.iter_mut().zip(&dh_through_u) {
-                *a += b;
-            }
-            dh_next = dh_prev;
         }
         dxs
     }
@@ -206,28 +258,38 @@ impl BiGru {
 
     /// Runs both directions and sums per-timestep states.
     pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiGruCache) {
-        let (hf, cf) = self.fwd.forward(xs);
-        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
-        let (hb, cb) = self.bwd.forward(&rev);
+        let mut scratch = GemmScratch::new();
+        self.forward_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`BiGru::forward`] streaming through a reusable [`GemmScratch`].
+    pub fn forward_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> (Vec<Vec<f32>>, BiGruCache) {
+        let (mut out, cf) = self.fwd.forward_dir(xs, false, scratch);
+        let (hb, cb) = self.bwd.forward_dir(xs, true, scratch);
         let t_len = xs.len();
-        let out = (0..t_len)
-            .map(|t| {
-                hf[t]
-                    .iter()
-                    .zip(&hb[t_len - 1 - t])
-                    .map(|(a, b)| a + b)
-                    .collect()
-            })
-            .collect();
+        for (t, h) in out.iter_mut().enumerate() {
+            for (a, b) in h.iter_mut().zip(&hb[t_len - 1 - t]) {
+                *a += b;
+            }
+        }
         (out, BiGruCache { fwd: cf, bwd: cb })
     }
 
     /// Backpropagates both directions.
     pub fn backward(&mut self, cache: &BiGruCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let t_len = dhs.len();
-        let dx_f = self.fwd.backward(&cache.fwd, dhs);
+        let mut scratch = GemmScratch::new();
+        let dx_f = self
+            .fwd
+            .backward_with_scratch(&cache.fwd, dhs, &mut scratch);
         let rev_dhs: Vec<Vec<f32>> = dhs.iter().rev().cloned().collect();
-        let dx_b = self.bwd.backward(&cache.bwd, &rev_dhs);
+        let dx_b = self
+            .bwd
+            .backward_with_scratch(&cache.bwd, &rev_dhs, &mut scratch);
         let mut dxs = dx_f;
         for t in 0..t_len {
             for (a, b) in dxs[t].iter_mut().zip(&dx_b[t_len - 1 - t]) {
@@ -270,6 +332,19 @@ mod tests {
                 assert!(v.abs() <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let gru = Gru::new(3, 5, &mut rng);
+        let xs = toy_inputs(7, 3, 32);
+        let mut scratch = GemmScratch::new();
+        let (a, _) = gru.forward_with_scratch(&xs, &mut scratch);
+        let (b, _) = gru.forward_with_scratch(&xs, &mut scratch);
+        let (c, _) = gru.forward(&xs);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

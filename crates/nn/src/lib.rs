@@ -6,7 +6,14 @@
 //! ADAM optimizer (Sec. V-B). This crate implements exactly those pieces
 //! from scratch:
 //!
-//! * [`matrix::Matrix`] — a dense row-major `f32` matrix,
+//! * [`matrix::Matrix`] — a dense row-major `f32` matrix with blocked
+//!   GEMM kernels ([`matrix::Matrix::matmul_nt`], batched gradient
+//!   products) shared by every layer,
+//! * [`matrix::GemmScratch`] — reusable working buffers so the hot
+//!   inference/training paths allocate nothing per timestep,
+//! * [`act`] — branch-free rational `tanh`/`sigmoid` kernels that the
+//!   gate loops auto-vectorize through (scalar libm transcendentals
+//!   cost as much as the matrix products at this model size),
 //! * [`param::Param`] — a trainable tensor with gradient and ADAM state,
 //! * [`lstm::Lstm`] — a single-direction LSTM with full backpropagation
 //!   through time,
@@ -41,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod act;
 pub mod dense;
 pub mod gru;
 pub mod loss;
@@ -50,5 +58,5 @@ pub mod model;
 pub mod param;
 pub mod serialize;
 
-pub use matrix::Matrix;
+pub use matrix::{GemmScratch, Matrix};
 pub use model::BrnnClassifier;

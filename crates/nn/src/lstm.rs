@@ -4,46 +4,91 @@
 //! (input, forget, cell-candidate, output). The bidirectional wrapper
 //! *sums* the forward and backward hidden states, matching the paper's
 //! `h_t = h→_t + h←_t` (Sec. V-B, Eq. 4).
+//!
+//! # Fused-gate compute engine
+//!
+//! The four per-gate weight matrices live concatenated in single fused
+//! `4H x I` (input) and `4H x H` (recurrent) row-major matrices, so one
+//! blocked product serves all gates. Per sequence the engine does:
+//!
+//! 1. **Time-batched input projections** — `W·x_t` for *all* timesteps
+//!    in one [`Matrix::matmul_nt`] GEMM before the recurrence starts;
+//!    the sequential loop then only adds the `U·h_{t-1}` half per step
+//!    ([`Matrix::matvec_add_into`], no temporaries).
+//! 2. **Flat activation caches** — the backward pass reads gate
+//!    activations and pre-states from contiguous `T x 4H` / `T x H`
+//!    buffers instead of one heap allocation per step.
+//! 3. **Batched weight gradients** — BPTT accumulates all per-step gate
+//!    gradients into one `T x 4H` buffer and applies `dW += dZᵀ·X` /
+//!    `dU += dZᵀ·H_prev` as single [`Matrix::add_tn_product`] GEMMs.
+//!
+//! All entry points have `*_with_scratch` variants that stream through a
+//! caller-provided [`GemmScratch`]; the plain variants allocate a fresh
+//! scratch per call. Inference-only traversal ([`BiLstm::hidden_states_with_scratch`])
+//! skips the activation caches entirely.
 
-use crate::matrix::Matrix;
+use crate::act::{sigmoid_slice, tanh_slice};
+use crate::matrix::{pack_rows, GemmScratch, Matrix};
 use crate::param::Param;
 use rand::Rng;
-
-#[inline]
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
 
 /// A single-direction LSTM layer.
 #[derive(Debug, Clone)]
 pub struct Lstm {
-    /// Input weights, `4H x D`.
+    /// Input weights, fused `4H x D` (`[i, f, g, o]` gate blocks stacked).
     pub w: Param,
-    /// Recurrent weights, `4H x H`.
+    /// Recurrent weights, fused `4H x H`.
     pub u: Param,
-    /// Bias, `4H x 1`.
+    /// Bias, fused `4H x 1`.
     pub b: Param,
     input_size: usize,
     hidden_size: usize,
 }
 
-/// Cached activations for one timestep, needed by the backward pass.
+/// Forward-pass activations for a whole sequence, stored as flat
+/// row-major buffers (`T` rows each) — what [`Lstm::backward`] replays.
 #[derive(Debug, Clone)]
-struct StepCache {
+pub struct LstmCache {
+    t: usize,
+    /// Packed inputs, `T x D` (in processing order; reversed for the
+    /// backward direction of a [`BiLstm`]).
     x: Vec<f32>,
+    /// Hidden state entering each step, `T x H`.
     h_prev: Vec<f32>,
+    /// Cell state entering each step, `T x H`.
     c_prev: Vec<f32>,
-    i: Vec<f32>,
-    f: Vec<f32>,
-    g: Vec<f32>,
-    o: Vec<f32>,
+    /// Activated gates `[i, f, g, o]` per step, `T x 4H`.
+    gates: Vec<f32>,
+    /// `tanh(c_t)` per step, `T x H`.
     tanh_c: Vec<f32>,
 }
 
-/// Forward-pass cache for a whole sequence.
-#[derive(Debug, Clone)]
-pub struct LstmCache {
-    steps: Vec<StepCache>,
+/// Applies one LSTM cell update. `z` holds the fused pre-activations,
+/// `gates` receives the activated `[i, f, g, o]` blocks, and `c`/`h` are
+/// updated in place (their pre-step values must already be stashed).
+/// The activations run block-wise through the slice kernels in
+/// [`crate::act`], which are SIMD on capable machines (the cell is
+/// otherwise bound by the rational kernel's division throughput); the
+/// remaining state arithmetic is plain element-wise code the compiler
+/// vectorizes on its own.
+#[inline]
+fn lstm_cell(z: &[f32], gates: &mut [f32], c: &mut [f32], h: &mut [f32], tanh_c: &mut [f32]) {
+    let hl = h.len();
+    gates.copy_from_slice(z);
+    sigmoid_slice(&mut gates[..2 * hl]);
+    tanh_slice(&mut gates[2 * hl..3 * hl]);
+    sigmoid_slice(&mut gates[3 * hl..]);
+    let (gi, rest) = gates.split_at(hl);
+    let (gf, rest) = rest.split_at(hl);
+    let (gg, go) = rest.split_at(hl);
+    for k in 0..hl {
+        c[k] = gf[k] * c[k] + gi[k] * gg[k];
+    }
+    tanh_c.copy_from_slice(c);
+    tanh_slice(tanh_c);
+    for k in 0..hl {
+        h[k] = go[k] * tanh_c[k];
+    }
 }
 
 impl Lstm {
@@ -66,8 +111,8 @@ impl Lstm {
         }
     }
 
-    /// Reconstructs an LSTM from explicit weight matrices (e.g. loaded
-    /// from disk).
+    /// Reconstructs an LSTM from explicit fused weight matrices (e.g.
+    /// loaded from disk).
     ///
     /// # Errors
     ///
@@ -98,6 +143,25 @@ impl Lstm {
         })
     }
 
+    /// Assembles an LSTM from *per-gate* weight blocks in `[i, f, g, o]`
+    /// order — the legacy four-matrix layout. Each `w[g]` is `H x D`,
+    /// each `u[g]` is `H x H`, each `b[g]` is `H x 1`; they are stacked
+    /// into the fused `4H x *` matrices this engine computes with.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the stacked shapes are inconsistent.
+    pub fn from_gate_weights(
+        w: [Matrix; 4],
+        u: [Matrix; 4],
+        b: [Matrix; 4],
+    ) -> Result<Self, String> {
+        let fused_w = Matrix::vstack(&[&w[0], &w[1], &w[2], &w[3]]);
+        let fused_u = Matrix::vstack(&[&u[0], &u[1], &u[2], &u[3]]);
+        let fused_b = Matrix::vstack(&[&b[0], &b[1], &b[2], &b[3]]);
+        Lstm::from_weights(fused_w, fused_u, fused_b)
+    }
+
     /// Input dimension.
     pub fn input_size(&self) -> usize {
         self.input_size
@@ -116,49 +180,140 @@ impl Lstm {
     /// Panics if any input vector's length differs from the configured
     /// input size.
     pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, LstmCache) {
-        let hs_len = self.hidden_size;
-        let mut h = vec![0.0f32; hs_len];
-        let mut c = vec![0.0f32; hs_len];
-        let mut outputs = Vec::with_capacity(xs.len());
-        let mut steps = Vec::with_capacity(xs.len());
-        for x in xs {
-            assert_eq!(x.len(), self.input_size, "input dimension mismatch");
-            let mut z = self.w.value.matvec(x);
-            let zu = self.u.value.matvec(&h);
-            for (a, (b, &bias)) in z.iter_mut().zip(zu.iter().zip(self.b.value.data())) {
-                *a += b + bias;
+        let mut scratch = GemmScratch::new();
+        self.forward_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`Lstm::forward`] streaming through a reusable [`GemmScratch`].
+    pub fn forward_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> (Vec<Vec<f32>>, LstmCache) {
+        self.forward_dir(xs, false, scratch)
+    }
+
+    /// Direction-aware forward pass: with `reversed` the sequence is
+    /// consumed (and cached) in reverse time order without cloning it.
+    pub(crate) fn forward_dir(
+        &self,
+        xs: &[Vec<f32>],
+        reversed: bool,
+        scratch: &mut GemmScratch,
+    ) -> (Vec<Vec<f32>>, LstmCache) {
+        let t_len = xs.len();
+        let hl = self.hidden_size;
+        let mut cache = LstmCache {
+            t: t_len,
+            x: Vec::new(),
+            h_prev: vec![0.0; t_len * hl],
+            c_prev: vec![0.0; t_len * hl],
+            gates: vec![0.0; t_len * 4 * hl],
+            tanh_c: vec![0.0; t_len * hl],
+        };
+        pack_rows(xs, self.input_size, reversed, &mut cache.x);
+        // One GEMM for every timestep's input projection; the loop below
+        // only does the recurrent half.
+        self.w
+            .value
+            .matmul_nt_into(&cache.x, t_len, &mut scratch.proj);
+        scratch.z.clear();
+        scratch.z.resize(4 * hl, 0.0);
+        scratch.state.clear();
+        scratch.state.resize(2 * hl, 0.0);
+        let (h, c) = scratch.state.split_at_mut(hl);
+        let bias = self.b.value.data();
+        let mut outputs = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            cache.h_prev[t * hl..(t + 1) * hl].copy_from_slice(h);
+            cache.c_prev[t * hl..(t + 1) * hl].copy_from_slice(c);
+            for ((z, &p), &bv) in scratch
+                .z
+                .iter_mut()
+                .zip(&scratch.proj[t * 4 * hl..(t + 1) * 4 * hl])
+                .zip(bias)
+            {
+                *z = p + bv;
             }
-            let mut gi = vec![0.0f32; hs_len];
-            let mut gf = vec![0.0f32; hs_len];
-            let mut gg = vec![0.0f32; hs_len];
-            let mut go = vec![0.0f32; hs_len];
-            for k in 0..hs_len {
-                gi[k] = sigmoid(z[k]);
-                gf[k] = sigmoid(z[hs_len + k]);
-                gg[k] = z[2 * hs_len + k].tanh();
-                go[k] = sigmoid(z[3 * hs_len + k]);
-            }
-            let c_prev = c.clone();
-            let h_prev = h.clone();
-            let mut tanh_c = vec![0.0f32; hs_len];
-            for k in 0..hs_len {
-                c[k] = gf[k] * c_prev[k] + gi[k] * gg[k];
-                tanh_c[k] = c[k].tanh();
-                h[k] = go[k] * tanh_c[k];
-            }
-            outputs.push(h.clone());
-            steps.push(StepCache {
-                x: x.clone(),
-                h_prev,
-                c_prev,
-                i: gi,
-                f: gf,
-                g: gg,
-                o: go,
-                tanh_c,
-            });
+            self.u.value.matvec_add_into(h, &mut scratch.z);
+            lstm_cell(
+                &scratch.z,
+                &mut cache.gates[t * 4 * hl..(t + 1) * 4 * hl],
+                c,
+                h,
+                &mut cache.tanh_c[t * hl..(t + 1) * hl],
+            );
+            outputs.push(h.to_vec());
         }
-        (outputs, LstmCache { steps })
+        (outputs, cache)
+    }
+
+    /// Inference-only traversal: runs the recurrence and *adds* each
+    /// hidden state into `out` (index-reversed when `reversed`), without
+    /// recording any backward-pass state. `out` must hold `xs.len()`
+    /// vectors of `hidden_size` values.
+    pub(crate) fn infer_add(
+        &self,
+        xs: &[Vec<f32>],
+        reversed: bool,
+        scratch: &mut GemmScratch,
+        out: &mut [Vec<f32>],
+    ) {
+        let t_len = xs.len();
+        assert_eq!(out.len(), t_len, "output length mismatch");
+        let hl = self.hidden_size;
+        pack_rows(xs, self.input_size, reversed, &mut scratch.x_flat);
+        self.w
+            .value
+            .matmul_nt_into(&scratch.x_flat, t_len, &mut scratch.proj);
+        scratch.z.clear();
+        scratch.z.resize(4 * hl, 0.0);
+        scratch.state.clear();
+        scratch.state.resize(2 * hl, 0.0);
+        let (h, c) = scratch.state.split_at_mut(hl);
+        let bias = self.b.value.data();
+        for t in 0..t_len {
+            for ((z, &p), &bv) in scratch
+                .z
+                .iter_mut()
+                .zip(&scratch.proj[t * 4 * hl..(t + 1) * 4 * hl])
+                .zip(bias)
+            {
+                *z = p + bv;
+            }
+            self.u.value.matvec_add_into(h, &mut scratch.z);
+            // Activate in place — no backward pass, so nothing is cached.
+            sigmoid_slice(&mut scratch.z[..2 * hl]);
+            tanh_slice(&mut scratch.z[2 * hl..3 * hl]);
+            sigmoid_slice(&mut scratch.z[3 * hl..]);
+            let (gi, rest) = scratch.z.split_at(hl);
+            let (gf, rest) = rest.split_at(hl);
+            let (gg, go) = rest.split_at(hl);
+            for k in 0..hl {
+                c[k] = gf[k] * c[k] + gi[k] * gg[k];
+            }
+            h.copy_from_slice(c);
+            tanh_slice(h);
+            for k in 0..hl {
+                h[k] *= go[k];
+            }
+            let slot = if reversed { t_len - 1 - t } else { t };
+            for (o, &v) in out[slot].iter_mut().zip(h.iter()) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Hidden states only (no backward-pass cache) — the inference fast
+    /// path used when gradients are not needed.
+    pub fn hidden_states_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<f32>> {
+        let mut out = vec![vec![0.0f32; self.hidden_size]; xs.len()];
+        self.infer_add(xs, false, scratch, &mut out);
+        out
     }
 
     /// Backpropagates through time. `dhs` holds the loss gradient with
@@ -170,41 +325,68 @@ impl Lstm {
     ///
     /// Panics if `dhs.len()` differs from the cached sequence length.
     pub fn backward(&mut self, cache: &LstmCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        assert_eq!(dhs.len(), cache.steps.len(), "gradient length mismatch");
-        let hs_len = self.hidden_size;
-        let mut dxs = vec![vec![0.0f32; self.input_size]; dhs.len()];
-        let mut dh_next = vec![0.0f32; hs_len];
-        let mut dc_next = vec![0.0f32; hs_len];
-        for t in (0..cache.steps.len()).rev() {
-            let s = &cache.steps[t];
-            // Total gradient flowing into h_t.
-            let mut dh = dhs[t].clone();
-            for (a, b) in dh.iter_mut().zip(&dh_next) {
-                *a += b;
+        let mut scratch = GemmScratch::new();
+        self.backward_with_scratch(cache, dhs, &mut scratch)
+    }
+
+    /// [`Lstm::backward`] streaming through a reusable [`GemmScratch`].
+    pub fn backward_with_scratch(
+        &mut self,
+        cache: &LstmCache,
+        dhs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(dhs.len(), cache.t, "gradient length mismatch");
+        let hl = self.hidden_size;
+        let t_len = cache.t;
+        let mut dxs = vec![vec![0.0f32; self.input_size]; t_len];
+        let GemmScratch { dz, dstate, .. } = scratch;
+        dz.clear();
+        dz.resize(t_len * 4 * hl, 0.0);
+        dstate.clear();
+        dstate.resize(4 * hl, 0.0);
+        let (dh_next, rest) = dstate.split_at_mut(hl);
+        let (dc_next, rest) = rest.split_at_mut(hl);
+        let (dh, dc) = rest.split_at_mut(hl);
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t * 4 * hl..(t + 1) * 4 * hl];
+            let (gi, gf, gg, go) = (
+                &gates[..hl],
+                &gates[hl..2 * hl],
+                &gates[2 * hl..3 * hl],
+                &gates[3 * hl..],
+            );
+            let tanh_c = &cache.tanh_c[t * hl..(t + 1) * hl];
+            let c_prev = &cache.c_prev[t * hl..(t + 1) * hl];
+            let dz_t = &mut dz[t * 4 * hl..(t + 1) * 4 * hl];
+            for k in 0..hl {
+                // Total gradient flowing into h_t, then into c_t via
+                // h = o * tanh(c).
+                dh[k] = dhs[t][k] + dh_next[k];
+                dc[k] = dc_next[k] + dh[k] * go[k] * (1.0 - tanh_c[k] * tanh_c[k]);
+                let d_o = dh[k] * tanh_c[k];
+                let d_i = dc[k] * gg[k];
+                let d_f = dc[k] * c_prev[k];
+                let d_g = dc[k] * gi[k];
+                dz_t[k] = d_i * gi[k] * (1.0 - gi[k]);
+                dz_t[hl + k] = d_f * gf[k] * (1.0 - gf[k]);
+                dz_t[2 * hl + k] = d_g * (1.0 - gg[k] * gg[k]);
+                dz_t[3 * hl + k] = d_o * go[k] * (1.0 - go[k]);
             }
-            let mut dz = vec![0.0f32; 4 * hs_len];
-            let mut dc = dc_next.clone();
-            for k in 0..hs_len {
-                // dC from h = o * tanh(c).
-                dc[k] += dh[k] * s.o[k] * (1.0 - s.tanh_c[k] * s.tanh_c[k]);
-                let d_o = dh[k] * s.tanh_c[k];
-                let d_i = dc[k] * s.g[k];
-                let d_f = dc[k] * s.c_prev[k];
-                let d_g = dc[k] * s.i[k];
-                dz[k] = d_i * s.i[k] * (1.0 - s.i[k]);
-                dz[hs_len + k] = d_f * s.f[k] * (1.0 - s.f[k]);
-                dz[2 * hs_len + k] = d_g * (1.0 - s.g[k] * s.g[k]);
-                dz[3 * hs_len + k] = d_o * s.o[k] * (1.0 - s.o[k]);
+            self.w.value.matvec_transposed_into(dz_t, &mut dxs[t]);
+            self.u.value.matvec_transposed_into(dz_t, dh_next);
+            for k in 0..hl {
+                dc_next[k] = dc[k] * gf[k];
             }
-            self.w.grad.add_outer(&dz, &s.x);
-            self.u.grad.add_outer(&dz, &s.h_prev);
-            for (slot, &d) in self.b.grad.data_mut().iter_mut().zip(&dz) {
+        }
+        // Weight gradients as two batched GEMMs over the whole sequence
+        // instead of one rank-1 update per timestep.
+        self.w.grad.add_tn_product(dz, &cache.x, t_len);
+        self.u.grad.add_tn_product(dz, &cache.h_prev, t_len);
+        let bg = self.b.grad.data_mut();
+        for row in dz.chunks_exact(4 * hl) {
+            for (slot, &d) in bg.iter_mut().zip(row) {
                 *slot += d;
-            }
-            dxs[t] = self.w.value.matvec_transposed(&dz);
-            dh_next = self.u.value.matvec_transposed(&dz);
-            for k in 0..hs_len {
-                dc_next[k] = dc[k] * s.f[k];
             }
         }
         dxs
@@ -250,17 +432,24 @@ impl BiLstm {
 
     /// Runs both directions and sums their hidden states per timestep.
     pub fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiLstmCache) {
-        let (hf, cache_f) = self.fwd.forward(xs);
-        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
-        let (hb, cache_b) = self.bwd.forward(&rev);
+        let mut scratch = GemmScratch::new();
+        self.forward_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`BiLstm::forward`] streaming through a reusable [`GemmScratch`]
+    /// (both directions share it sequentially).
+    pub fn forward_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> (Vec<Vec<f32>>, BiLstmCache) {
+        let (mut out, cache_f) = self.fwd.forward_dir(xs, false, scratch);
+        let (hb, cache_b) = self.bwd.forward_dir(xs, true, scratch);
         let t_len = xs.len();
-        let mut out = Vec::with_capacity(t_len);
-        for t in 0..t_len {
-            let mut h = hf[t].clone();
+        for (t, h) in out.iter_mut().enumerate() {
             for (a, b) in h.iter_mut().zip(&hb[t_len - 1 - t]) {
                 *a += b;
             }
-            out.push(h);
         }
         (
             out,
@@ -271,13 +460,39 @@ impl BiLstm {
         )
     }
 
+    /// Summed hidden states without backward-pass caches — the inference
+    /// fast path for a trained detector.
+    pub fn hidden_states_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<f32>> {
+        let mut out = vec![vec![0.0f32; self.hidden_size()]; xs.len()];
+        self.fwd.infer_add(xs, false, scratch, &mut out);
+        self.bwd.infer_add(xs, true, scratch, &mut out);
+        out
+    }
+
     /// Backpropagates through both directions, accumulating parameter
     /// gradients and returning input gradients.
     pub fn backward(&mut self, cache: &BiLstmCache, dhs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut scratch = GemmScratch::new();
+        self.backward_with_scratch(cache, dhs, &mut scratch)
+    }
+
+    /// [`BiLstm::backward`] streaming through a reusable [`GemmScratch`].
+    pub fn backward_with_scratch(
+        &mut self,
+        cache: &BiLstmCache,
+        dhs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<f32>> {
         let t_len = dhs.len();
-        let dx_f = self.fwd.backward(&cache.fwd, dhs);
+        let dx_f = self.fwd.backward_with_scratch(&cache.fwd, dhs, scratch);
         let rev_dhs: Vec<Vec<f32>> = dhs.iter().rev().cloned().collect();
-        let dx_b = self.bwd.backward(&cache.bwd, &rev_dhs);
+        let dx_b = self
+            .bwd
+            .backward_with_scratch(&cache.bwd, &rev_dhs, scratch);
         let mut dxs = dx_f;
         for t in 0..t_len {
             for (a, b) in dxs[t].iter_mut().zip(&dx_b[t_len - 1 - t]) {
@@ -339,6 +554,58 @@ mod tests {
         assert!(hs.is_empty());
         let dxs = lstm.backward(&cache, &[]);
         assert!(dxs.is_empty());
+        let mut scratch = GemmScratch::new();
+        assert!(lstm
+            .hidden_states_with_scratch(&[], &mut scratch)
+            .is_empty());
+    }
+
+    #[test]
+    fn inference_path_matches_training_forward() {
+        // The cache-free inference traversal must be bitwise identical
+        // to the training forward pass (same kernels, same order).
+        let mut rng = StdRng::seed_from_u64(15);
+        let lstm = Lstm::new(4, 6, &mut rng);
+        let xs = toy_inputs(11, 4, 16);
+        let (hs, _) = lstm.forward(&xs);
+        let mut scratch = GemmScratch::new();
+        let inferred = lstm.hidden_states_with_scratch(&xs, &mut scratch);
+        assert_eq!(hs, inferred);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_shapes() {
+        // One scratch serves layers of different sizes back to back.
+        let mut rng = StdRng::seed_from_u64(17);
+        let small = Lstm::new(2, 3, &mut rng);
+        let large = Lstm::new(5, 8, &mut rng);
+        let mut scratch = GemmScratch::new();
+        let (a1, _) = small.forward_with_scratch(&toy_inputs(4, 2, 18), &mut scratch);
+        let (b1, _) = large.forward_with_scratch(&toy_inputs(9, 5, 19), &mut scratch);
+        let (a2, _) = small.forward(&toy_inputs(4, 2, 18));
+        let (b2, _) = large.forward(&toy_inputs(9, 5, 19));
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn from_gate_weights_stacks_fused_layout() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let reference = Lstm::new(3, 2, &mut rng);
+        let slice_gate = |m: &Matrix, g: usize| {
+            let h = 2;
+            let rows: Vec<&[f32]> = (g * h..(g + 1) * h).map(|r| m.row(r)).collect();
+            Matrix::from_rows(&rows)
+        };
+        let w = std::array::from_fn(|g| slice_gate(&reference.w.value, g));
+        let u = std::array::from_fn(|g| slice_gate(&reference.u.value, g));
+        let b = std::array::from_fn(|g| slice_gate(&reference.b.value, g));
+        let rebuilt = Lstm::from_gate_weights(w, u, b).unwrap();
+        assert_eq!(rebuilt.w.value, reference.w.value);
+        assert_eq!(rebuilt.u.value, reference.u.value);
+        assert_eq!(rebuilt.b.value, reference.b.value);
+        let xs = toy_inputs(5, 3, 24);
+        assert_eq!(rebuilt.forward(&xs).0, reference.forward(&xs).0);
     }
 
     /// Finite-difference gradient check for the unidirectional LSTM.
@@ -428,6 +695,21 @@ mod tests {
         for t in 0..6 {
             for k in 0..4 {
                 assert!((out[t][k] - (hf[t][k] + hb[5 - t][k])).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_inference_matches_training_forward() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let bi = BiLstm::new(3, 4, &mut rng);
+        let xs = toy_inputs(6, 3, 14);
+        let (out, _) = bi.forward(&xs);
+        let mut scratch = GemmScratch::new();
+        let inferred = bi.hidden_states_with_scratch(&xs, &mut scratch);
+        for (a, b) in out.iter().zip(&inferred) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-6);
             }
         }
     }

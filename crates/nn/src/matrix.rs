@@ -1,6 +1,271 @@
-//! Dense row-major matrix with the handful of operations the LSTM needs.
+//! Dense row-major matrix with the operations the recurrent layers need.
+//!
+//! The hot paths of the BRNN phoneme detector are expressed as three
+//! kernels here:
+//!
+//! * [`Matrix::matmul_nt`] — a time-batched `C = X · selfᵀ` product that
+//!   computes the input projections `W·x_t` of *all* timesteps of an
+//!   utterance in one cache-blocked GEMM before the sequential
+//!   recurrence begins,
+//! * [`Matrix::matvec_add_into`] — the per-step recurrent half `z += U·h`
+//!   accumulated into a caller-provided buffer (no allocation),
+//! * [`Matrix::add_tn_product`] — the batched weight-gradient update
+//!   `dW += dZᵀ · X` that replaces one rank-1 `add_outer` per timestep in
+//!   backpropagation through time.
+//!
+//! All kernels share one unrolled dot product so the training and
+//! inference paths are bitwise identical. [`GemmScratch`] owns the
+//! buffers the recurrent engines stream through, so a caller that scores
+//! or trains many sequences reuses one set of allocations.
 
 use rand::Rng;
+
+/// Thirty-two-lane dot product — the shared inner kernel of every
+/// matrix product in this module. Lane `k` sums elements `32i + k`, the
+/// lanes are folded with a fixed reduction tree, and the tail shorter
+/// than 32 is handled by an eight-lane pass plus a sequential
+/// remainder. The *lane assignment* (not the vector width of the
+/// machine it runs on) defines the summation order, so the scalar and
+/// SIMD implementations below are bitwise identical and every caller —
+/// forward, backward, inference — stays bitwise consistent with the
+/// others. Thirty-two lanes means four independent 8-wide accumulator
+/// chains, enough instruction-level parallelism to hide the
+/// floating-point add latency that a single chain would serialize on.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Portable implementation of [`dot`]'s lane semantics.
+#[inline]
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 32];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..32 {
+            acc[k] += xa[k] * xb[k];
+        }
+    }
+    let mut m = [0.0f32; 8];
+    for k in 0..8 {
+        m[k] = (acc[k] + acc[8 + k]) + (acc[16 + k] + acc[24 + k]);
+    }
+    let s = ((m[0] + m[1]) + (m[2] + m[3])) + ((m[4] + m[5]) + (m[6] + m[7]));
+    s + dot_tail(ca.remainder(), cb.remainder())
+}
+
+/// Eight-lane pass over the sub-32 tail, shared by both [`dot`]
+/// implementations so their results agree bitwise.
+#[inline]
+fn dot_tail(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..8 {
+            acc[k] += xa[k] * xb[k];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        s += xa * xb;
+    }
+    s
+}
+
+/// AVX2 implementation of [`dot`]'s lane semantics: lane `32i + 8j + k`
+/// lives in lane `k` of accumulator register `j`, the registers are
+/// folded pairwise (matching `dot_scalar`'s tree), and multiplies and
+/// adds stay separate instructions (no FMA contraction), so the result
+/// is bitwise identical to the portable path. Marked `#[inline]` so the
+/// row-loop kernels below (which share the `avx2` feature context)
+/// inline it — a per-row function call would pay call overhead plus an
+/// AVX-to-SSE `vzeroupper` transition on every row.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for (j, slot) in acc.iter_mut().enumerate() {
+            // SAFETY: `xa`/`xb` are exactly 32 elements, so offsets
+            // `8j..8j + 8` for `j < 4` are in bounds.
+            let va = unsafe { _mm256_loadu_ps(xa.as_ptr().add(8 * j)) };
+            let vb = unsafe { _mm256_loadu_ps(xb.as_ptr().add(8 * j)) };
+            *slot = _mm256_add_ps(*slot, _mm256_mul_ps(va, vb));
+        }
+    }
+    let m = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+    let mut lanes = [0.0f32; 8];
+    // SAFETY: `lanes` is a 32-byte buffer; unaligned store is allowed.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), m) };
+    let s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    s + dot_tail(ca.remainder(), cb.remainder())
+}
+
+/// Row loop of a matrix–vector product (`add` selects `out[r] += …`
+/// versus `out[r] = …`), dispatched once per call so the SIMD dot
+/// kernel inlines into the loop instead of being re-entered per row.
+#[inline]
+fn matvec_rows(data: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { matvec_rows_avx2(data, cols, x, out, add) };
+        return;
+    }
+    for (slot, row) in out.iter_mut().zip(data.chunks_exact(cols)) {
+        let d = dot_scalar(row, x);
+        *slot = if add { *slot + d } else { d };
+    }
+}
+
+/// AVX2 instantiation of [`matvec_rows`]'s loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_rows_avx2(data: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    for (slot, row) in out.iter_mut().zip(data.chunks_exact(cols)) {
+        // SAFETY: the caller established AVX2 support.
+        let d = unsafe { dot_avx2(row, x) };
+        *slot = if add { *slot + d } else { d };
+    }
+}
+
+/// Column counts below this use the column-streaming layout in
+/// [`matmul_nt_narrow`]: the shared dot kernel's 32-lane body never
+/// engages on such short rows, leaving its reduction tree and tail
+/// handling as pure overhead per output element.
+const NARROW_COLS: usize = 32;
+
+/// Blocked loop of the time-batched `C = X · Wᵀ` product: each
+/// ~L1-sized panel of weight rows is reused across every timestep
+/// before moving to the next panel. Dispatched once per call, like
+/// [`matvec_rows`].
+#[inline]
+fn matmul_nt_rows(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+    if cols < NARROW_COLS {
+        matmul_nt_narrow(data, rows, cols, x, out);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { matmul_nt_rows_avx2(data, rows, cols, x, out) };
+        return;
+    }
+    const ROW_BLOCK: usize = 64;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + ROW_BLOCK).min(rows);
+        let panel = &data[r0 * cols..r1 * cols];
+        for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+            for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
+                *slot = dot_scalar(row, xi);
+            }
+        }
+        r0 = r1;
+    }
+}
+
+/// Narrow-input variant of [`matmul_nt_rows`]: the weight panel is
+/// transposed once so each input column is contiguous, then every
+/// timestep accumulates `out_t += x[t][c] · w_col_c` column by column —
+/// SIMD lanes span *output rows* and the (short) sum over the input
+/// dimension runs sequentially. The summation order therefore differs
+/// from the dot kernel's lane order, which is why [`Matrix::matmul_nt`]
+/// is documented as matching [`Matrix::matvec`] only up to rounding;
+/// training and inference both project inputs through this same path,
+/// so they still agree bitwise with each other.
+fn matmul_nt_narrow(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+    let mut wt = vec![0.0f32; cols * rows];
+    for (r, row) in data.chunks_exact(cols).enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            wt[c * rows + r] = v;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { matmul_nt_narrow_avx2(&wt, rows, cols, x, out) };
+        return;
+    }
+    for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+        for (c, &xc) in xi.iter().enumerate() {
+            let col = &wt[c * rows..(c + 1) * rows];
+            for (o, &w) in oi.iter_mut().zip(col) {
+                *o += w * xc;
+            }
+        }
+    }
+}
+
+/// AVX2 instantiation of [`matmul_nt_narrow`]'s accumulation, taking
+/// the already-transposed panel. Per output element the operation
+/// sequence (sequential multiply-adds over columns, starting from zero)
+/// matches the portable loop exactly, so results are bitwise identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_nt_narrow_avx2(wt: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    let blocked = rows / 8 * 8;
+    for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+        let mut r = 0;
+        while r < blocked {
+            let mut acc = _mm256_setzero_ps();
+            for (c, &xc) in xi.iter().enumerate() {
+                // SAFETY: `c * rows + r + 8 <= cols * rows` because
+                // `r + 8 <= blocked <= rows` and `c < cols`.
+                let w = unsafe { _mm256_loadu_ps(wt.as_ptr().add(c * rows + r)) };
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(w, _mm256_set1_ps(xc)));
+            }
+            // SAFETY: `r + 8 <= blocked <= rows == oi.len()`.
+            unsafe { _mm256_storeu_ps(oi.as_mut_ptr().add(r), acc) };
+            r += 8;
+        }
+        for (r, slot) in oi.iter_mut().enumerate().skip(blocked) {
+            let mut s = 0.0f32;
+            for (c, &xc) in xi.iter().enumerate() {
+                s += wt[c * rows + r] * xc;
+            }
+            *slot = s;
+        }
+    }
+}
+
+/// AVX2 instantiation of [`matmul_nt_rows`]'s loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_nt_rows_avx2(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+    const ROW_BLOCK: usize = 64;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + ROW_BLOCK).min(rows);
+        let panel = &data[r0 * cols..r1 * cols];
+        for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+            for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
+                // SAFETY: the caller established AVX2 support.
+                *slot = unsafe { dot_avx2(row, xi) };
+            }
+        }
+        r0 = r1;
+    }
+}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -112,17 +377,80 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0f32; self.rows];
-        for (r, slot) in out.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = 0.0f32;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            *slot = acc;
-        }
+        self.matvec_into(x, &mut out);
         out
+    }
+
+    /// Matrix–vector product written into a caller-provided buffer —
+    /// the allocation-free form recurrent loops stream through.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == self.cols()` and
+    /// `out.len() == self.rows()`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        if self.cols == 0 {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        matvec_rows(&self.data, self.cols, x, out, false);
+    }
+
+    /// Accumulating matrix–vector product `out += self * x` — the
+    /// recurrent half `z += U·h` of a fused gate pre-activation, added
+    /// onto the time-batched input projection without a temporary.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == self.cols()` and
+    /// `out.len() == self.rows()`.
+    pub fn matvec_add_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        if self.cols == 0 {
+            return;
+        }
+        matvec_rows(&self.data, self.cols, x, out, true);
+    }
+
+    /// Time-batched product `C = X · selfᵀ`: `x` holds `n` row-major
+    /// rows of `self.cols()` values (one input vector per timestep) and
+    /// row `i` of the result is `self · x_i`. Computing every timestep's
+    /// input projection in one pass keeps the weight matrix hot in cache
+    /// across the whole utterance instead of re-streaming it per step.
+    ///
+    /// Row `i` equals [`Matrix::matvec`] of `x_i` up to rounding: for
+    /// fewer than 32 columns a column-streaming layout with a different
+    /// (but still fixed and deterministic) summation order is used.
+    /// Wider matrices go through the shared dot kernel and match
+    /// `matvec` bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n * self.cols()`.
+    pub fn matmul_nt(&self, x: &[f32], n: usize) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.matmul_nt_into(x, n, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a reusable buffer (`out` is resized to
+    /// `n * self.rows()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n * self.cols()`.
+    pub fn matmul_nt_into(&self, x: &[f32], n: usize, out: &mut Vec<f32>) {
+        assert_eq!(x.len(), n * self.cols, "matmul_nt dimension mismatch");
+        out.clear();
+        out.resize(n * self.rows, 0.0);
+        if self.cols == 0 || self.rows == 0 {
+            return;
+        }
+        matmul_nt_rows(&self.data, self.rows, self.cols, x, out);
     }
 
     /// Transposed matrix–vector product `selfᵀ * x` — used in
@@ -132,15 +460,74 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transposed(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut out = vec![0.0f32; self.cols];
-        for (r, &xr) in x.iter().enumerate() {
-            let row = self.row(r);
+        self.matvec_transposed_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec_transposed`] written into a caller-provided
+    /// buffer (overwritten, not accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == self.rows()` and
+    /// `out.len() == self.cols()`.
+    pub fn matvec_transposed_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "matvec_transposed output length mismatch"
+        );
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for (&xr, row) in x.iter().zip(self.data.chunks_exact(self.cols.max(1))) {
             for (o, &w) in out.iter_mut().zip(row) {
                 *o += w * xr;
             }
         }
-        out
+    }
+
+    /// Batched gradient accumulation `self += Aᵀ · B`, where `a` holds
+    /// `n` row-major rows of `self.rows()` values and `b` holds `n`
+    /// row-major rows of `self.cols()` values. Equivalent to one
+    /// [`Matrix::add_outer`] per row pair, but expressed as a single
+    /// GEMM over the whole sequence — this is how BPTT turns its
+    /// per-timestep rank-1 weight updates into one batched product.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a.len() == n * self.rows()` and
+    /// `b.len() == n * self.cols()`.
+    pub fn add_tn_product(&mut self, a: &[f32], b: &[f32], n: usize) {
+        assert_eq!(a.len(), n * self.rows, "add_tn_product row mismatch");
+        assert_eq!(b.len(), n * self.cols, "add_tn_product col mismatch");
+        if self.cols == 0 || self.rows == 0 {
+            return;
+        }
+        for (ai, bi) in a.chunks_exact(self.rows).zip(b.chunks_exact(self.cols)) {
+            for (&ar, drow) in ai.iter().zip(self.data.chunks_exact_mut(self.cols)) {
+                for (slot, &bc) in drow.iter_mut().zip(bi) {
+                    *slot += ar * bc;
+                }
+            }
+        }
+    }
+
+    /// Stacks matrices vertically (all must share a column count). Used
+    /// to assemble the fused `4H x I` gate layout from per-gate blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks disagree on column count.
+    pub fn vstack(blocks: &[&Matrix]) -> Matrix {
+        let cols = blocks.first().map_or(0, |m| m.cols);
+        let rows = blocks.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in blocks {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
     }
 
     /// Accumulates the outer product `x ⊗ y` into the matrix — used for
@@ -165,9 +552,69 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
-    /// Sum of squares of all elements (for gradient-norm diagnostics).
+    /// Sum of squares of all elements (for gradient-norm diagnostics),
+    /// computed with the shared [`dot`] kernel's lane semantics.
     pub fn frobenius_sq(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum()
+        dot(&self.data, &self.data)
+    }
+}
+
+/// Reusable buffers for the fused-gate recurrent engines.
+///
+/// One scratch serves any mix of LSTM/GRU directions and sequence
+/// lengths: every user resizes the buffers it needs, so capacity grows
+/// to the high-water mark and is then reused allocation-free. Callers
+/// that score or train many sequences should create one scratch and
+/// thread it through `*_with_scratch` entry points; the convenience
+/// wrappers create a fresh scratch per call.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    /// Packed input sequence, `T x input_size` row-major.
+    pub(crate) x_flat: Vec<f32>,
+    /// Time-batched input projections `W·x_t`, `T x gate_rows`.
+    pub(crate) proj: Vec<f32>,
+    /// Current step's gate pre-activations, `gate_rows`.
+    pub(crate) z: Vec<f32>,
+    /// Recurrent state pair (`h` then `c`), `2 * hidden`.
+    pub(crate) state: Vec<f32>,
+    /// Backward-pass gate gradients, `T x gate_rows`.
+    pub(crate) dz: Vec<f32>,
+    /// Secondary backward-pass rows (GRU `U`-side gradients), `T x gate_rows`.
+    pub(crate) dz_u: Vec<f32>,
+    /// Backward-pass state gradients, `4 * hidden`.
+    pub(crate) dstate: Vec<f32>,
+}
+
+impl GemmScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        GemmScratch::default()
+    }
+}
+
+/// Packs a sequence of equal-length vectors into a flat row-major
+/// buffer, optionally in reverse time order (the backward direction of
+/// a bidirectional layer consumes the sequence reversed without the
+/// caller cloning it).
+///
+/// # Panics
+///
+/// Panics if any vector's length differs from `width`.
+pub(crate) fn pack_rows(xs: &[Vec<f32>], width: usize, reversed: bool, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(xs.len() * width);
+    let push = |out: &mut Vec<f32>, x: &Vec<f32>| {
+        assert_eq!(x.len(), width, "input dimension mismatch");
+        out.extend_from_slice(x);
+    };
+    if reversed {
+        for x in xs.iter().rev() {
+            push(out, x);
+        }
+    } else {
+        for x in xs {
+            push(out, x);
+        }
     }
 }
 
@@ -176,6 +623,20 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn dispatched_dot_is_bitwise_identical_to_scalar_lanes() {
+        // On a machine with AVX2 this pits the SIMD path against the
+        // portable one; lengths straddle the 32-lane body, the 8-lane
+        // tail pass and the sequential remainder.
+        for len in [0, 1, 7, 8, 14, 31, 32, 33, 64, 97, 256] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.73).sin() * 3.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 1.19).cos() * 2.0).collect();
+            let lanes = dot_scalar(&a, &b);
+            let dispatched = dot(&a, &b);
+            assert_eq!(dispatched.to_bits(), lanes.to_bits(), "len {len}");
+        }
+    }
 
     #[test]
     fn matvec_matches_hand_computation() {
@@ -228,5 +689,120 @@ mod tests {
         let mut m = Matrix::from_rows(&[&[1.0], &[2.0]]);
         m.fill_zero();
         assert_eq!(m.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn wide_matmul_nt_matches_per_step_matvec_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Odd sizes exercise the dot-product remainder and row-block
+        // boundaries (rows > ROW_BLOCK); 45 columns engage the 32-lane
+        // body plus the tail passes.
+        let m = Matrix::xavier(70, 45, &mut rng);
+        let n = 9;
+        let x: Vec<f32> = (0..n * 45).map(|i| (i as f32 * 0.37).sin()).collect();
+        let batched = m.matmul_nt(&x, n);
+        assert_eq!(batched.len(), n * 70);
+        for t in 0..n {
+            let single = m.matvec(&x[t * 45..(t + 1) * 45]);
+            assert_eq!(&batched[t * 70..(t + 1) * 70], single.as_slice());
+        }
+    }
+
+    #[test]
+    fn narrow_matmul_nt_matches_matvec_up_to_rounding() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // 13 columns take the column-streaming path, whose summation
+        // order differs from the dot kernel's.
+        let m = Matrix::xavier(70, 13, &mut rng);
+        let n = 9;
+        let x: Vec<f32> = (0..n * 13).map(|i| (i as f32 * 0.37).sin()).collect();
+        let batched = m.matmul_nt(&x, n);
+        for t in 0..n {
+            let single = m.matvec(&x[t * 13..(t + 1) * 13]);
+            for (a, b) in batched[t * 70..(t + 1) * 70].iter().zip(&single) {
+                assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_matmul_nt_accumulates_in_column_order() {
+        // Pin the narrow path's documented semantics: out[t][r] is the
+        // plain left-to-right fold over columns, whichever instruction
+        // set computes it.
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = Matrix::xavier(19, 5, &mut rng);
+        let n = 3;
+        let x: Vec<f32> = (0..n * 5).map(|i| (i as f32 * 0.53).cos()).collect();
+        let batched = m.matmul_nt(&x, n);
+        for t in 0..n {
+            for r in 0..19 {
+                let mut s = 0.0f32;
+                for c in 0..5 {
+                    s += m.get(r, c) * x[t * 5 + c];
+                }
+                assert_eq!(batched[t * 19 + r].to_bits(), s.to_bits(), "t {t} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_add_into_accumulates() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut out = vec![10.0, 20.0];
+        m.matvec_add_into(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![13.0, 27.0]);
+    }
+
+    #[test]
+    fn matvec_transposed_into_overwrites() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = vec![99.0, 99.0];
+        m.matvec_transposed_into(&[1.0, 0.5, -1.0], &mut out);
+        assert_eq!(out, m.matvec_transposed(&[1.0, 0.5, -1.0]).as_slice());
+    }
+
+    #[test]
+    fn add_tn_product_matches_per_row_outer() {
+        let mut batched = Matrix::zeros(5, 3);
+        let mut looped = Matrix::zeros(5, 3);
+        let n = 4;
+        let a: Vec<f32> = (0..n * 5).map(|i| (i as f32 * 0.21).cos()).collect();
+        let b: Vec<f32> = (0..n * 3).map(|i| (i as f32 * 0.43).sin()).collect();
+        batched.add_tn_product(&a, &b, n);
+        for t in 0..n {
+            looped.add_outer(&a[t * 5..(t + 1) * 5], &b[t * 3..(t + 1) * 3]);
+        }
+        for (x, y) in batched.data().iter().zip(looped.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let s = Matrix::vstack(&[&a, &b]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vstack column mismatch")]
+    fn vstack_rejects_mismatched_columns() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        Matrix::vstack(&[&a, &b]);
+    }
+
+    #[test]
+    fn pack_rows_supports_reversal() {
+        let xs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let mut flat = Vec::new();
+        pack_rows(&xs, 2, false, &mut flat);
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
+        pack_rows(&xs, 2, true, &mut flat);
+        assert_eq!(flat, vec![3.0, 4.0, 1.0, 2.0]);
     }
 }

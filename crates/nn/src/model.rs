@@ -8,6 +8,7 @@
 use crate::dense::Dense;
 use crate::loss;
 use crate::lstm::BiLstm;
+use crate::matrix::GemmScratch;
 use crate::param::AdamConfig;
 use rand::Rng;
 
@@ -53,20 +54,48 @@ impl BrnnClassifier {
         self.step
     }
 
-    /// Per-frame logits for a sequence.
+    /// Per-frame logits for a sequence (inference path: no backward
+    /// caches are recorded).
     pub fn logits(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        let (hs, _) = self.rnn.forward(xs);
-        self.head.forward(&hs).0
+        let mut scratch = GemmScratch::new();
+        self.logits_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`BrnnClassifier::logits`] streaming through a reusable
+    /// [`GemmScratch`] — the per-verification hot path of the online
+    /// detector.
+    pub fn logits_with_scratch(&self, xs: &[Vec<f32>], scratch: &mut GemmScratch) -> Vec<Vec<f32>> {
+        let hs = self.rnn.hidden_states_with_scratch(xs, scratch);
+        hs.iter().map(|h| self.head.apply(h)).collect()
     }
 
     /// Per-frame class probabilities.
     pub fn predict_proba(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        self.logits(xs).iter().map(|l| loss::softmax(l)).collect()
+        let mut scratch = GemmScratch::new();
+        self.predict_proba_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`BrnnClassifier::predict_proba`] with caller-provided scratch.
+    pub fn predict_proba_with_scratch(
+        &self,
+        xs: &[Vec<f32>],
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<f32>> {
+        self.logits_with_scratch(xs, scratch)
+            .iter()
+            .map(|l| loss::softmax(l))
+            .collect()
     }
 
     /// Per-frame argmax class predictions.
     pub fn predict(&self, xs: &[Vec<f32>]) -> Vec<usize> {
-        self.logits(xs)
+        let mut scratch = GemmScratch::new();
+        self.predict_with_scratch(xs, &mut scratch)
+    }
+
+    /// [`BrnnClassifier::predict`] with caller-provided scratch.
+    pub fn predict_with_scratch(&self, xs: &[Vec<f32>], scratch: &mut GemmScratch) -> Vec<usize> {
+        self.logits_with_scratch(xs, scratch)
             .iter()
             .map(|l| {
                 l.iter()
@@ -96,12 +125,13 @@ impl BrnnClassifier {
         }
         let mut total = 0.0f32;
         let scale = 1.0 / batch.len() as f32;
+        let mut scratch = GemmScratch::new();
         for (xs, ys) in batch {
             assert_eq!(xs.len(), ys.len(), "sequence/label length mismatch");
             if xs.is_empty() {
                 continue;
             }
-            let (hs, rnn_cache) = self.rnn.forward(xs);
+            let (hs, rnn_cache) = self.rnn.forward_with_scratch(xs, &mut scratch);
             let (logits, head_cache) = self.head.forward(&hs);
             let (l, mut dlogits) = loss::sequence_cross_entropy(&logits, ys);
             total += l;
@@ -111,7 +141,8 @@ impl BrnnClassifier {
                 }
             }
             let dhs = self.head.backward(&head_cache, &dlogits);
-            self.rnn.backward(&rnn_cache, &dhs);
+            self.rnn
+                .backward_with_scratch(&rnn_cache, &dhs, &mut scratch);
         }
         self.step += 1;
         let step = self.step;
@@ -166,8 +197,9 @@ impl BrnnClassifier {
     pub fn accuracy(&self, data: &[(Vec<Vec<f32>>, Vec<usize>)]) -> f32 {
         let mut correct = 0usize;
         let mut total = 0usize;
+        let mut scratch = GemmScratch::new();
         for (xs, ys) in data {
-            let preds = self.predict(xs);
+            let preds = self.predict_with_scratch(xs, &mut scratch);
             correct += preds.iter().zip(ys).filter(|(p, y)| p == y).count();
             total += ys.len();
         }

@@ -4,6 +4,17 @@
 //! train once and ship the weights. The format is a simple
 //! little-endian container: magic, version, layer dimensions, then raw
 //! `f32` parameter data in a fixed order.
+//!
+//! # Version 1 layout (pinned)
+//!
+//! `"TBNN"` · `u32` version (=1) · `u32` matrix count (=8) · eight
+//! matrices, each `u32 rows` · `u32 cols` · row-major `f32` data, in the
+//! order: forward LSTM `W (4H x D)`, `U (4H x H)`, `b (4H x 1)`; backward
+//! LSTM `W`, `U`, `b`; head `W (C x H)`, `b (C x 1)`. The LSTM matrices
+//! have always been stored *fused* (the four `[i, f, g, o]` gate blocks
+//! stacked along rows), so checkpoints written before the fused-gate
+//! compute engine load byte-identically — the engine changed how the
+//! matrices are multiplied, not how they are laid out.
 
 use crate::matrix::Matrix;
 use crate::model::BrnnClassifier;
@@ -142,6 +153,43 @@ mod tests {
                 assert!((x - y).abs() < 1e-6);
             }
         }
+    }
+
+    /// Golden byte-level pin of the V1 container: a checkpoint assembled
+    /// by hand, exactly as the pre-fused-engine code wrote it, must load
+    /// and classify. Guards against accidental format drift while the
+    /// compute engine underneath evolves.
+    #[test]
+    fn v1_byte_layout_is_pinned() {
+        let (d, h, c) = (2usize, 1usize, 2usize);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"TBNN");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        let mut val = 0.0f32;
+        let mut push_matrix = |bytes: &mut Vec<u8>, rows: usize, cols: usize| {
+            bytes.extend_from_slice(&(rows as u32).to_le_bytes());
+            bytes.extend_from_slice(&(cols as u32).to_le_bytes());
+            for _ in 0..rows * cols {
+                val += 0.01;
+                bytes.extend_from_slice(&(val.sin() * 0.5).to_le_bytes());
+            }
+        };
+        for _ in 0..2 {
+            push_matrix(&mut bytes, 4 * h, d); // W
+            push_matrix(&mut bytes, 4 * h, h); // U
+            push_matrix(&mut bytes, 4 * h, 1); // b
+        }
+        push_matrix(&mut bytes, c, h); // head W
+        push_matrix(&mut bytes, c, 1); // head b
+        let model = BrnnClassifier::load(bytes.as_slice()).unwrap();
+        assert_eq!(model.n_classes(), c);
+        let preds = model.predict(&[vec![0.5, -0.5], vec![-0.1, 0.9]]);
+        assert_eq!(preds.len(), 2);
+        // Saving it back reproduces the exact byte stream.
+        let mut out = Vec::new();
+        model.save(&mut out).unwrap();
+        assert_eq!(out, bytes);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use thrubarrier_nn::loss;
 use thrubarrier_nn::lstm::{BiLstm, Lstm};
-use thrubarrier_nn::Matrix;
+use thrubarrier_nn::{BrnnClassifier, GemmScratch, Matrix};
 
 fn sequence_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
     prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 3), 1..12)
@@ -94,6 +94,98 @@ proptest! {
     }
 
     #[test]
+    fn fused_forward_matches_legacy_both_directions(
+        xs in sequence_strategy(),
+        seed in 0u64..100,
+    ) {
+        // The fused time-batched engine must agree with the pre-fusion
+        // reference (four per-gate matrices, four matvecs per timestep)
+        // in both directions of a bidirectional layer.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bi = BiLstm::new(3, 4, &mut rng);
+        let legacy_f = LegacyLstm::from_fused(&bi.fwd);
+        let legacy_b = LegacyLstm::from_fused(&bi.bwd);
+        let (hf, _) = legacy_f.forward(&xs);
+        let rev: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
+        let (hb, _) = legacy_b.forward(&rev);
+        let t_len = xs.len();
+        let expected: Vec<Vec<f32>> = (0..t_len)
+            .map(|t| {
+                hf[t]
+                    .iter()
+                    .zip(&hb[t_len - 1 - t])
+                    .map(|(a, b)| a + b)
+                    .collect()
+            })
+            .collect();
+        let (fused, _) = bi.forward(&xs);
+        let mut scratch = GemmScratch::new();
+        let inferred = bi.hidden_states_with_scratch(&xs, &mut scratch);
+        for t in 0..t_len {
+            for k in 0..4 {
+                prop_assert!(rel_close(fused[t][k], expected[t][k]),
+                    "train-path fused {} vs legacy {} at [{t}][{k}]", fused[t][k], expected[t][k]);
+                prop_assert!(rel_close(inferred[t][k], expected[t][k]),
+                    "infer-path fused {} vs legacy {} at [{t}][{k}]", inferred[t][k], expected[t][k]);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_backward_matches_legacy_gate_gradients(
+        xs in sequence_strategy(),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lstm = Lstm::new(3, 4, &mut rng);
+        let legacy = LegacyLstm::from_fused(&lstm);
+        let dhs: Vec<Vec<f32>> = (0..xs.len())
+            .map(|t| (0..4).map(|k| ((t + k) as f32 * 0.37).sin()).collect())
+            .collect();
+        let (_, cache) = lstm.forward(&xs);
+        let dxs = lstm.backward(&cache, &dhs);
+        let (_, legacy_cache) = legacy.forward(&xs);
+        let (dw, du, db, legacy_dxs) = legacy.backward(&legacy_cache, &dhs);
+        for t in 0..xs.len() {
+            for j in 0..3 {
+                prop_assert!(rel_close(dxs[t][j], legacy_dxs[t][j]), "dx[{t}][{j}]");
+            }
+        }
+        let fused_dw = slice_gates(&lstm.w.grad, 4);
+        let fused_du = slice_gates(&lstm.u.grad, 4);
+        for g in 0..4 {
+            for (a, b) in fused_dw[g].data().iter().zip(dw[g].data()) {
+                prop_assert!(rel_close(*a, *b), "dW gate {g}: {a} vs {b}");
+            }
+            for (a, b) in fused_du[g].data().iter().zip(du[g].data()) {
+                prop_assert!(rel_close(*a, *b), "dU gate {g}: {a} vs {b}");
+            }
+            for (k, &legacy_db) in db[g].iter().enumerate() {
+                let fused_db = lstm.b.grad.get(g * 4 + k, 0);
+                prop_assert!(rel_close(fused_db, legacy_db), "db gate {g}[{k}]");
+            }
+        }
+    }
+
+    #[test]
+    fn old_layout_checkpoint_runs_identically_on_fused_engine(
+        xs in sequence_strategy(),
+        seed in 0u64..100,
+    ) {
+        // The V1 container has always stored the fused matrices, so a
+        // checkpoint written before the engine rework must load and
+        // classify bit-identically — and agree with the legacy compute
+        // path reconstructed from its weights.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = BrnnClassifier::new(3, 4, 2, &mut rng);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        let loaded = BrnnClassifier::load(bytes.as_slice()).unwrap();
+        prop_assert_eq!(model.predict_proba(&xs), loaded.predict_proba(&xs));
+        prop_assert_eq!(model.predict(&xs), loaded.predict(&xs));
+    }
+
+    #[test]
     fn matvec_distributes_over_addition(
         rows in 1usize..6,
         cols in 1usize..6,
@@ -110,5 +202,140 @@ proptest! {
         for (l, (a, b)) in lhs.iter().zip(mx.iter().zip(&my)) {
             prop_assert!((l - (a + b)).abs() < 1e-4);
         }
+    }
+}
+
+/// Relative closeness at the issue's 1e-5 tolerance.
+fn rel_close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-5 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Extracts the four per-gate `H x *` blocks (`[i, f, g, o]` order) from
+/// a fused `4H x *` matrix.
+fn slice_gates(m: &Matrix, h: usize) -> [Matrix; 4] {
+    std::array::from_fn(|g| {
+        let rows: Vec<&[f32]> = (g * h..(g + 1) * h).map(|r| m.row(r)).collect();
+        Matrix::from_rows(&rows)
+    })
+}
+
+// The legacy reference uses the engine's own activation kernels so the
+// comparison isolates the *fused-gate restructuring* (one 4H×I GEMM and
+// flat caches versus four per-gate matvecs), not the activation
+// approximation, which `act`'s unit tests pin against libm separately.
+use thrubarrier_nn::act::{sigmoid, tanh};
+
+/// Per-step activations recorded by [`LegacyLstm::forward`].
+struct LegacyStep {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// The pre-fusion reference implementation: four separate per-gate
+/// weight matrices, four input and four recurrent matvecs per timestep,
+/// and rank-1 (`add_outer`) gradient updates per gate per step. Kept in
+/// the test suite as the ground truth the fused engine is checked
+/// against.
+struct LegacyLstm {
+    w: [Matrix; 4],
+    u: [Matrix; 4],
+    b: [Vec<f32>; 4],
+    hidden: usize,
+}
+
+impl LegacyLstm {
+    fn from_fused(l: &Lstm) -> Self {
+        let h = l.hidden_size();
+        let b_full = slice_gates(&l.b.value, h);
+        LegacyLstm {
+            w: slice_gates(&l.w.value, h),
+            u: slice_gates(&l.u.value, h),
+            b: std::array::from_fn(|g| b_full[g].data().to_vec()),
+            hidden: h,
+        }
+    }
+
+    fn forward(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, Vec<LegacyStep>) {
+        let hl = self.hidden;
+        let mut h = vec![0.0f32; hl];
+        let mut c = vec![0.0f32; hl];
+        let mut outputs = Vec::new();
+        let mut steps = Vec::new();
+        for x in xs {
+            let wx: [Vec<f32>; 4] = std::array::from_fn(|g| self.w[g].matvec(x));
+            let uh: [Vec<f32>; 4] = std::array::from_fn(|g| self.u[g].matvec(&h));
+            let mut step = LegacyStep {
+                x: x.clone(),
+                h_prev: h.clone(),
+                c_prev: c.clone(),
+                i: vec![0.0; hl],
+                f: vec![0.0; hl],
+                g: vec![0.0; hl],
+                o: vec![0.0; hl],
+                tanh_c: vec![0.0; hl],
+            };
+            for k in 0..hl {
+                step.i[k] = sigmoid(wx[0][k] + uh[0][k] + self.b[0][k]);
+                step.f[k] = sigmoid(wx[1][k] + uh[1][k] + self.b[1][k]);
+                step.g[k] = tanh(wx[2][k] + uh[2][k] + self.b[2][k]);
+                step.o[k] = sigmoid(wx[3][k] + uh[3][k] + self.b[3][k]);
+                c[k] = step.f[k] * c[k] + step.i[k] * step.g[k];
+                step.tanh_c[k] = tanh(c[k]);
+                h[k] = step.o[k] * step.tanh_c[k];
+            }
+            outputs.push(h.clone());
+            steps.push(step);
+        }
+        (outputs, steps)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn backward(
+        &self,
+        steps: &[LegacyStep],
+        dhs: &[Vec<f32>],
+    ) -> ([Matrix; 4], [Matrix; 4], [Vec<f32>; 4], Vec<Vec<f32>>) {
+        let hl = self.hidden;
+        let input = self.w[0].cols();
+        let mut dw: [Matrix; 4] = std::array::from_fn(|_| Matrix::zeros(hl, input));
+        let mut du: [Matrix; 4] = std::array::from_fn(|_| Matrix::zeros(hl, hl));
+        let mut db: [Vec<f32>; 4] = std::array::from_fn(|_| vec![0.0; hl]);
+        let mut dxs = vec![vec![0.0f32; input]; steps.len()];
+        let mut dh_next = vec![0.0f32; hl];
+        let mut dc_next = vec![0.0f32; hl];
+        for t in (0..steps.len()).rev() {
+            let s = &steps[t];
+            let mut dz: [Vec<f32>; 4] = std::array::from_fn(|_| vec![0.0; hl]);
+            for k in 0..hl {
+                let dh = dhs[t][k] + dh_next[k];
+                let dc = dc_next[k] + dh * s.o[k] * (1.0 - s.tanh_c[k] * s.tanh_c[k]);
+                dz[0][k] = dc * s.g[k] * s.i[k] * (1.0 - s.i[k]);
+                dz[1][k] = dc * s.c_prev[k] * s.f[k] * (1.0 - s.f[k]);
+                dz[2][k] = dc * s.i[k] * (1.0 - s.g[k] * s.g[k]);
+                dz[3][k] = dh * s.tanh_c[k] * s.o[k] * (1.0 - s.o[k]);
+                dc_next[k] = dc * s.f[k];
+            }
+            dh_next.iter_mut().for_each(|v| *v = 0.0);
+            for g in 0..4 {
+                dw[g].add_outer(&dz[g], &s.x);
+                du[g].add_outer(&dz[g], &s.h_prev);
+                for k in 0..hl {
+                    db[g][k] += dz[g][k];
+                }
+                for (a, b) in dxs[t].iter_mut().zip(self.w[g].matvec_transposed(&dz[g])) {
+                    *a += b;
+                }
+                for (a, b) in dh_next.iter_mut().zip(self.u[g].matvec_transposed(&dz[g])) {
+                    *a += b;
+                }
+            }
+        }
+        (dw, du, db, dxs)
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_brnn-55abf5737c2a8113.d: crates/bench/src/bin/profile_brnn.rs
+
+/root/repo/target/debug/deps/profile_brnn-55abf5737c2a8113: crates/bench/src/bin/profile_brnn.rs
+
+crates/bench/src/bin/profile_brnn.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/thrubarrier_nn-eabde0839ced4d07.d: crates/nn/src/lib.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+/root/repo/target/debug/deps/thrubarrier_nn-eabde0839ced4d07.d: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
 
-/root/repo/target/debug/deps/thrubarrier_nn-eabde0839ced4d07: crates/nn/src/lib.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+/root/repo/target/debug/deps/thrubarrier_nn-eabde0839ced4d07: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
 
 crates/nn/src/lib.rs:
+crates/nn/src/act.rs:
 crates/nn/src/dense.rs:
 crates/nn/src/gru.rs:
 crates/nn/src/loss.rs:

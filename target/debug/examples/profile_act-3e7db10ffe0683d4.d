@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_act-3e7db10ffe0683d4.d: crates/nn/examples/profile_act.rs
+
+/root/repo/target/debug/examples/profile_act-3e7db10ffe0683d4: crates/nn/examples/profile_act.rs
+
+crates/nn/examples/profile_act.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_predict-fcf775766d6781d3.d: crates/nn/examples/profile_predict.rs
+
+/root/repo/target/debug/examples/profile_predict-fcf775766d6781d3: crates/nn/examples/profile_predict.rs
+
+crates/nn/examples/profile_predict.rs:

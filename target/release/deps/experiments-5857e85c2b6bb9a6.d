@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-5857e85c2b6bb9a6.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-5857e85c2b6bb9a6: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-8af742d3f9c60351.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-8af742d3f9c60351: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_brnn-5ad96d3a14839165.d: crates/bench/src/bin/profile_brnn.rs
+
+/root/repo/target/release/deps/profile_brnn-5ad96d3a14839165: crates/bench/src/bin/profile_brnn.rs
+
+crates/bench/src/bin/profile_brnn.rs:

@@ -1,11 +1,11 @@
-/root/repo/target/release/deps/thrubarrier_defense-ed95a73cf21aaa40.d: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/guard.rs crates/defense/src/features.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+/root/repo/target/release/deps/thrubarrier_defense-ed95a73cf21aaa40.d: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
 
-/root/repo/target/release/deps/thrubarrier_defense-ed95a73cf21aaa40: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/guard.rs crates/defense/src/features.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
+/root/repo/target/release/deps/thrubarrier_defense-ed95a73cf21aaa40: crates/defense/src/lib.rs crates/defense/src/detector.rs crates/defense/src/features.rs crates/defense/src/guard.rs crates/defense/src/segmentation.rs crates/defense/src/selection.rs crates/defense/src/sync.rs crates/defense/src/system.rs
 
 crates/defense/src/lib.rs:
 crates/defense/src/detector.rs:
-crates/defense/src/guard.rs:
 crates/defense/src/features.rs:
+crates/defense/src/guard.rs:
 crates/defense/src/segmentation.rs:
 crates/defense/src/selection.rs:
 crates/defense/src/sync.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/release/deps/thrubarrier_dsp-b1b39fe773f346e1.d: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs
+/root/repo/target/release/deps/thrubarrier_dsp-b1b39fe773f346e1.d: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/response.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs
 
-/root/repo/target/release/deps/thrubarrier_dsp-b1b39fe773f346e1: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs
+/root/repo/target/release/deps/thrubarrier_dsp-b1b39fe773f346e1: crates/dsp/src/lib.rs crates/dsp/src/buffer.rs crates/dsp/src/complex.rs crates/dsp/src/correlate.rs crates/dsp/src/error.rs crates/dsp/src/features.rs crates/dsp/src/fft.rs crates/dsp/src/filter.rs crates/dsp/src/gen.rs crates/dsp/src/mel.rs crates/dsp/src/resample.rs crates/dsp/src/response.rs crates/dsp/src/stats.rs crates/dsp/src/stft.rs crates/dsp/src/wav.rs crates/dsp/src/window.rs
 
 crates/dsp/src/lib.rs:
 crates/dsp/src/buffer.rs:
@@ -13,6 +13,7 @@ crates/dsp/src/filter.rs:
 crates/dsp/src/gen.rs:
 crates/dsp/src/mel.rs:
 crates/dsp/src/resample.rs:
+crates/dsp/src/response.rs:
 crates/dsp/src/stats.rs:
 crates/dsp/src/stft.rs:
 crates/dsp/src/wav.rs:

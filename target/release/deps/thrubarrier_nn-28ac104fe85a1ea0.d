@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/thrubarrier_nn-28ac104fe85a1ea0.d: crates/nn/src/lib.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+/root/repo/target/release/deps/thrubarrier_nn-28ac104fe85a1ea0.d: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
 
-/root/repo/target/release/deps/libthrubarrier_nn-28ac104fe85a1ea0.rlib: crates/nn/src/lib.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+/root/repo/target/release/deps/libthrubarrier_nn-28ac104fe85a1ea0.rlib: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
 
-/root/repo/target/release/deps/libthrubarrier_nn-28ac104fe85a1ea0.rmeta: crates/nn/src/lib.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+/root/repo/target/release/deps/libthrubarrier_nn-28ac104fe85a1ea0.rmeta: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/dense.rs crates/nn/src/gru.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/matrix.rs crates/nn/src/model.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
 
 crates/nn/src/lib.rs:
+crates/nn/src/act.rs:
 crates/nn/src/dense.rs:
 crates/nn/src/gru.rs:
 crates/nn/src/loss.rs:

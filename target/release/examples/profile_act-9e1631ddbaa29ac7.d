@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_act-9e1631ddbaa29ac7.d: crates/nn/examples/profile_act.rs
+
+/root/repo/target/release/examples/profile_act-9e1631ddbaa29ac7: crates/nn/examples/profile_act.rs
+
+crates/nn/examples/profile_act.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_predict-1a9db456faac147b.d: crates/nn/examples/profile_predict.rs
+
+/root/repo/target/release/examples/profile_predict-1a9db456faac147b: crates/nn/examples/profile_predict.rs
+
+crates/nn/examples/profile_predict.rs:
