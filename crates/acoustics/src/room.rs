@@ -132,24 +132,22 @@ impl Room {
         let (w, l) = self.size_m;
         // Representative extra path lengths for first-order images.
         let paths = [w * 0.9, l * 0.9, (w + l) * 0.7];
-        let mut out = signal.to_vec();
+        let mut taps: Vec<(usize, f32)> = Vec::with_capacity(paths.len());
         for (k, &extra) in paths.iter().enumerate() {
             let extra = extra * delay_jitter[k % delay_jitter.len()];
             let delay = propagation_delay_samples(extra, sample_rate);
             let gain = self.reflectivity * 0.6f32.powi(k as i32) / (1.0 + extra)
                 * gain_jitter[k % gain_jitter.len()];
-            if delay == 0 {
-                continue;
-            }
-            let needed = signal.len() + delay;
-            if out.len() < needed {
-                out.resize(needed, 0.0);
-            }
-            for (i, &s) in signal.iter().enumerate() {
-                out[i + delay] += gain * s;
+            if delay > 0 {
+                taps.push((delay, gain));
             }
         }
-        out
+        let max_delay = taps.iter().map(|&(d, _)| d).max().unwrap_or(0);
+        if !signal.is_empty() && max_delay + 1 > REVERB_FFT_CROSSOVER {
+            convolve_taps_fft(signal, &taps, max_delay)
+        } else {
+            convolve_taps_direct(signal, &taps)
+        }
     }
 
     /// Adds the room's ambient noise floor to a signal in place.
@@ -159,6 +157,40 @@ impl Room {
             *v += std * thrubarrier_dsp::gen::standard_normal(rng);
         }
     }
+}
+
+/// Echo patterns at least this long (in samples, counting the direct
+/// path) convolve in the frequency domain; shorter ones stay on the
+/// direct sparse-tap path, which is cheaper than an FFT round-trip.
+const REVERB_FFT_CROSSOVER: usize = 256;
+
+/// Direct sparse-tap convolution: one delayed, scaled copy of the signal
+/// per tap, added onto the direct path.
+fn convolve_taps_direct(signal: &[f32], taps: &[(usize, f32)]) -> Vec<f32> {
+    let mut out = signal.to_vec();
+    for &(delay, gain) in taps {
+        let needed = signal.len() + delay;
+        if out.len() < needed {
+            out.resize(needed, 0.0);
+        }
+        for (i, &s) in signal.iter().enumerate() {
+            out[i + delay] += gain * s;
+        }
+    }
+    out
+}
+
+/// Frequency-domain path: builds the dense impulse response (unit direct
+/// path plus one spike per tap) and runs it through the planned-FFT
+/// overlap-save convolver, turning O(taps · N) sample updates into
+/// O(N log M) streaming blocks.
+fn convolve_taps_fft(signal: &[f32], taps: &[(usize, f32)], max_delay: usize) -> Vec<f32> {
+    let mut ir = vec![0.0f32; max_delay + 1];
+    ir[0] = 1.0;
+    for &(delay, gain) in taps {
+        ir[delay] += gain;
+    }
+    thrubarrier_dsp::filter::overlap_save_convolve(signal, &ir)
 }
 
 #[cfg(test)]
@@ -229,5 +261,61 @@ mod tests {
     fn display_names() {
         assert_eq!(RoomId::A.to_string(), "Room A");
         assert_eq!(RoomId::all().len(), 4);
+    }
+
+    #[test]
+    fn fft_reverb_path_matches_direct_tap_path() {
+        // Tap sets straddling the crossover, including colliding delays.
+        let tap_sets: [&[(usize, f32)]; 3] = [
+            &[(300, 0.3), (550, 0.18), (901, 0.07)],
+            &[(257, 0.25)],
+            &[(400, 0.2), (400, 0.1), (1_023, 0.05)],
+        ];
+        let signal: Vec<f32> = (0..2_000)
+            .map(|i| ((i * 31) % 17) as f32 * 0.05 - 0.4)
+            .collect();
+        for taps in tap_sets {
+            let max_delay = taps.iter().map(|&(d, _)| d).max().unwrap();
+            let direct = convolve_taps_direct(&signal, taps);
+            let fft = convolve_taps_fft(&signal, taps, max_delay);
+            assert_eq!(direct.len(), fft.len());
+            for (i, (a, b)) in direct.iter().zip(&fft).enumerate() {
+                assert!((a - b).abs() < 1e-4, "sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_rooms_cross_into_fft_path_at_audio_rate() {
+        // At 16 kHz every paper room's longest image path exceeds the
+        // crossover, so the routed output must still match the direct
+        // tap computation exactly enough for downstream correlation.
+        let signal: Vec<f32> = (0..1_500).map(|i| (i as f32 * 0.07).sin()).collect();
+        for room in Room::all_paper_rooms() {
+            let (w, l) = room.size_m;
+            let longest = propagation_delay_samples((w + l) * 0.7, 16_000);
+            assert!(
+                longest + 1 > REVERB_FFT_CROSSOVER,
+                "{}: longest tap {longest}",
+                room.id
+            );
+            let routed = room.apply_reverb(&signal, 16_000);
+            // Rebuild the tap set exactly as apply_reverb_taps does.
+            let paths = [w * 0.9, l * 0.9, (w + l) * 0.7];
+            let taps: Vec<(usize, f32)> = paths
+                .iter()
+                .enumerate()
+                .filter_map(|(k, &extra)| {
+                    let delay = propagation_delay_samples(extra, 16_000);
+                    let gain = room.reflectivity * 0.6f32.powi(k as i32) / (1.0 + extra);
+                    (delay > 0).then_some((delay, gain))
+                })
+                .collect();
+            let direct = convolve_taps_direct(&signal, &taps);
+            assert_eq!(routed.len(), direct.len());
+            for (i, (a, b)) in direct.iter().zip(&routed).enumerate() {
+                assert!((a - b).abs() < 1e-4, "{} sample {i}: {a} vs {b}", room.id);
+            }
+        }
     }
 }

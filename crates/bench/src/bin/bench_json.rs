@@ -22,6 +22,7 @@ use thrubarrier_dsp::{correlate, fft, gen, Stft};
 use thrubarrier_eval::runner::score_trial;
 use thrubarrier_eval::scenario::TrialContext;
 use thrubarrier_nn::model::{BrnnClassifier, TrainConfig};
+use thrubarrier_nn::{BatchWorkspace, GemmScratch};
 use thrubarrier_vibration::Wearable;
 
 /// Timed runs discarded before measurement starts (fills FFT-plan and
@@ -144,6 +145,29 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         }),
     );
 
+    // Minibatched segmentation: eight 1 s utterances per scoring pass —
+    // the eval worker's mask-computation unit under `batch_size = 8`.
+    let batch_feats: Vec<Vec<Vec<f32>>> = (0..8)
+        .map(|i| {
+            mfcc.extract(&gen::chirp(
+                100.0 + 25.0 * i as f32,
+                900.0,
+                0.4,
+                16_000,
+                1.0,
+            ))
+        })
+        .collect();
+    let seg_seqs: Vec<&[Vec<f32>]> = batch_feats.iter().map(|f| f.as_slice()).collect();
+    let mut seg_ws = BatchWorkspace::new();
+    let mut seg_scratch = GemmScratch::new();
+    out.insert(
+        "brnn_segment_batch8",
+        median_ns(iters.max(32), || {
+            black_box(brnn.predict_batch(black_box(&seg_seqs), &mut seg_ws, &mut seg_scratch));
+        }),
+    );
+
     // One optimizer step over a small batch (forward + BPTT + ADAM), the
     // unit of detector training cost.
     let mut rng = StdRng::seed_from_u64(5);
@@ -165,6 +189,29 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         "brnn_train_step",
         median_ns(iters.max(32), || {
             black_box(trainee.train_step(black_box(&batch), &train_cfg));
+        }),
+    );
+
+    // The same optimizer step at minibatch 8 — the detector's default
+    // training batch size — through the packed-batch GEMM engine.
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut trainee8 = BrnnClassifier::new(mfcc.n_coeffs(), 64, 2, &mut rng);
+    let seqs8: Vec<(Vec<Vec<f32>>, Vec<usize>)> = (0..8)
+        .map(|i| {
+            let audio = gen::chirp(100.0 + 40.0 * i as f32, 900.0, 0.4, 16_000, 0.4);
+            let xs = mfcc.extract(&audio);
+            let ys = (0..xs.len()).map(|t| t % 2).collect();
+            (xs, ys)
+        })
+        .collect();
+    let batch8: Vec<(&[Vec<f32>], &[usize])> = seqs8
+        .iter()
+        .map(|(x, y)| (x.as_slice(), y.as_slice()))
+        .collect();
+    out.insert(
+        "brnn_train_step_batch8",
+        median_ns(iters.max(32), || {
+            black_box(trainee8.train_step(black_box(&batch8), &train_cfg));
         }),
     );
 

@@ -7,17 +7,18 @@
 //! 0–900 Hz (deliberately low — thru-barrier sounds have no high
 //! frequencies left), 14 cepstral coefficients.
 //!
-//! Inference rides the fused-gate BRNN engine in `thrubarrier_nn`: the
+//! Inference rides the minibatched BRNN engine in `thrubarrier_nn`: the
 //! per-verification `sensitive_frames` call records no backward-pass
-//! state, and [`PhonemeDetector::sensitive_frames_batch`] additionally
-//! reuses one [`GemmScratch`] across recordings.
+//! state, and [`SegmentSelector::sensitive_frames_batch`] packs many
+//! recordings into one minibatch so every timestep is a single GEMM over
+//! all active recordings.
 
 use rand::Rng;
 use std::collections::HashSet;
 use thrubarrier_dsp::mel::MfccExtractor;
 use thrubarrier_nn::model::{BrnnClassifier, TrainConfig};
 use thrubarrier_nn::param::AdamConfig;
-use thrubarrier_nn::GemmScratch;
+use thrubarrier_nn::{BatchWorkspace, GemmScratch};
 use thrubarrier_phoneme::corpus::{frame_labels, LabelledUtterance};
 use thrubarrier_phoneme::inventory::PhonemeId;
 
@@ -31,6 +32,18 @@ pub trait SegmentSelector: Send + Sync {
     /// to a barrier-effect-sensitive phoneme and should be used for
     /// attack detection.
     fn sensitive_frames(&self, audio: &[f32], sample_rate: u32) -> Vec<bool>;
+
+    /// Marks the sensitive frames of many recordings at once, one mask
+    /// per recording in caller order. The default just loops over
+    /// [`SegmentSelector::sensitive_frames`]; selectors with a batched
+    /// fast path (the BRNN [`PhonemeDetector`]) override it to score
+    /// all recordings through minibatched GEMMs.
+    fn sensitive_frames_batch(&self, recordings: &[&[f32]], sample_rate: u32) -> Vec<Vec<bool>> {
+        recordings
+            .iter()
+            .map(|audio| self.sensitive_frames(audio, sample_rate))
+            .collect()
+    }
 }
 
 /// Concatenates the samples of the selected frames (non-overlapping hop
@@ -168,15 +181,21 @@ impl PhonemeDetector {
                 ..Default::default()
             },
         };
-        let mut order: Vec<usize> = (0..data.len()).collect();
+        // Minibatch membership is frozen once up front and only the
+        // *order* of minibatches is shuffled per epoch: a repeated batch
+        // hashes to the same corpus fingerprint inside the batched
+        // engine, so its packed layout and projection-cache allocations
+        // persist across every epoch instead of being rebuilt per step.
+        let order: Vec<usize> = (0..data.len()).collect();
+        let chunks: Vec<&[usize]> = order.chunks(cfg.batch_size.max(1)).collect();
+        let mut chunk_order: Vec<usize> = (0..chunks.len()).collect();
         for _ in 0..cfg.epochs {
-            // Shuffle sequence order each epoch.
-            for i in (1..order.len()).rev() {
+            for i in (1..chunk_order.len()).rev() {
                 let j = rng.gen_range(0..=i);
-                order.swap(i, j);
+                chunk_order.swap(i, j);
             }
-            for chunk in order.chunks(cfg.batch_size.max(1)) {
-                let batch: Vec<(&[Vec<f32>], &[usize])> = chunk
+            for &ci in &chunk_order {
+                let batch: Vec<(&[Vec<f32>], &[usize])> = chunks[ci]
                     .iter()
                     .map(|&i| (data[i].0.as_slice(), data[i].1.as_slice()))
                     .collect();
@@ -220,25 +239,6 @@ impl PhonemeDetector {
     /// The MFCC front-end (exposes frame geometry to callers).
     pub fn mfcc(&self) -> &MfccExtractor {
         &self.mfcc
-    }
-
-    /// Marks the sensitive frames of many recordings, streaming all BRNN
-    /// inference through one reusable [`GemmScratch`] so batch scoring
-    /// (the eval runner, threshold sweeps) allocates nothing per
-    /// utterance beyond the masks themselves.
-    pub fn sensitive_frames_batch(&self, recordings: &[&[f32]]) -> Vec<Vec<bool>> {
-        let mut scratch = GemmScratch::new();
-        recordings
-            .iter()
-            .map(|audio| {
-                let feats = self.mfcc.extract(audio);
-                self.model
-                    .predict_with_scratch(&feats, &mut scratch)
-                    .into_iter()
-                    .map(|c| c == 1)
-                    .collect()
-            })
-            .collect()
     }
 
     /// Serializes the trained detector (sensitive-phoneme set + BRNN
@@ -306,6 +306,23 @@ impl SegmentSelector for PhonemeDetector {
             .predict(&feats)
             .into_iter()
             .map(|c| c == 1)
+            .collect()
+    }
+
+    /// Batched override: all recordings are featurized, packed into one
+    /// minibatch and classified through the batched BRNN engine
+    /// ([`BrnnClassifier::predict_batch`]) — one GEMM per timestep over
+    /// every active recording instead of per-utterance matrix-vector
+    /// work.
+    fn sensitive_frames_batch(&self, recordings: &[&[f32]], _sample_rate: u32) -> Vec<Vec<bool>> {
+        let feats: Vec<Vec<Vec<f32>>> = recordings.iter().map(|a| self.mfcc.extract(a)).collect();
+        let seqs: Vec<&[Vec<f32>]> = feats.iter().map(|f| f.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        self.model
+            .predict_batch(&seqs, &mut ws, &mut scratch)
+            .into_iter()
+            .map(|preds| preds.into_iter().map(|c| c == 1).collect())
             .collect()
     }
 }
@@ -458,9 +475,16 @@ mod tests {
         };
         let det = PhonemeDetector::train(&sensitive, &corpus, &cfg, &mut rng);
         let recordings: Vec<&[f32]> = corpus.iter().map(|u| u.utterance.audio.samples()).collect();
-        let batch = det.sensitive_frames_batch(&recordings);
+        let batch = det.sensitive_frames_batch(&recordings, 16_000);
         for (audio, mask) in recordings.iter().zip(&batch) {
             assert_eq!(mask, &det.sensitive_frames(audio, 16_000));
+        }
+        // The default (loop-based) trait implementation agrees with the
+        // batched override.
+        let energy = EnergySelector::default();
+        let default_batch = energy.sensitive_frames_batch(&recordings, 16_000);
+        for (audio, mask) in recordings.iter().zip(&default_batch) {
+            assert_eq!(mask, &energy.sensitive_frames(audio, 16_000));
         }
     }
 

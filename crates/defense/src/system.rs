@@ -114,6 +114,12 @@ impl DefenseSystem {
         self
     }
 
+    /// The segment selector (shared; e.g. for batched mask computation
+    /// via [`SegmentSelector::sensitive_frames_batch`]).
+    pub fn selector(&self) -> &Arc<dyn SegmentSelector> {
+        &self.selector
+    }
+
     /// Scores a recording pair with the **full** pipeline. Higher = more
     /// likely legitimate; `[0, 1]`.
     pub fn score<R: Rng + ?Sized>(
@@ -136,13 +142,9 @@ impl DefenseSystem {
         if va_recording.is_empty() || wearable_recording.is_empty() {
             return 0.0;
         }
-        let aligned_wearable = if self.synchronize {
-            match sync::synchronize(va_recording, wearable_recording, self.max_sync_delay_s) {
-                Ok((aligned, _delay)) => aligned,
-                Err(_) => return 0.0,
-            }
-        } else {
-            wearable_recording.clone()
+        let aligned_wearable = match self.align(va_recording, wearable_recording) {
+            Some(aligned) => aligned,
+            None => return 0.0,
         };
         match method {
             DefenseMethod::AudioBaseline => {
@@ -159,20 +161,69 @@ impl DefenseSystem {
             DefenseMethod::Full => {
                 let fs = va_recording.sample_rate();
                 let mask = self.selector.sensitive_frames(va_recording.samples(), fs);
-                // Frame geometry of the paper's MFCC front-end.
-                let (frame_len, hop) = (400, 160);
-                let va_sel =
-                    extract_selected_samples(va_recording.samples(), &mask, frame_len, hop);
-                let w_sel =
-                    extract_selected_samples(aligned_wearable.samples(), &mask, frame_len, hop);
-                if (va_sel.len() as f32) < self.min_selected_s * fs as f32 {
-                    // Too little sensitive-phoneme evidence: treat as an
-                    // attack (legitimate commands always contain it).
-                    return 0.0;
-                }
-                self.vibration_score(&va_sel, &w_sel, fs, rng)
+                self.masked_vibration_score(va_recording, &aligned_wearable, &mask, rng)
             }
         }
+    }
+
+    /// Scores a recording pair with the **full** pipeline using a
+    /// precomputed sensitive-frame mask — e.g. one of many computed in a
+    /// single minibatch via [`SegmentSelector::sensitive_frames_batch`].
+    /// Identical to [`DefenseSystem::score`] when `mask` equals what the
+    /// system's own selector would produce.
+    pub fn score_full_with_mask<R: Rng + ?Sized>(
+        &self,
+        va_recording: &AudioBuffer,
+        wearable_recording: &AudioBuffer,
+        mask: &[bool],
+        rng: &mut R,
+    ) -> f32 {
+        if va_recording.is_empty() || wearable_recording.is_empty() {
+            return 0.0;
+        }
+        let aligned_wearable = match self.align(va_recording, wearable_recording) {
+            Some(aligned) => aligned,
+            None => return 0.0,
+        };
+        self.masked_vibration_score(va_recording, &aligned_wearable, mask, rng)
+    }
+
+    /// Cross-correlation alignment of the wearable recording, honoring
+    /// the `synchronize` ablation switch. `None` = alignment failed.
+    fn align(
+        &self,
+        va_recording: &AudioBuffer,
+        wearable_recording: &AudioBuffer,
+    ) -> Option<AudioBuffer> {
+        if self.synchronize {
+            sync::synchronize(va_recording, wearable_recording, self.max_sync_delay_s)
+                .ok()
+                .map(|(aligned, _delay)| aligned)
+        } else {
+            Some(wearable_recording.clone())
+        }
+    }
+
+    /// The Full-method tail: applies the sensitive-frame mask to both
+    /// recordings and scores the selections in the vibration domain.
+    fn masked_vibration_score<R: Rng + ?Sized>(
+        &self,
+        va_recording: &AudioBuffer,
+        aligned_wearable: &AudioBuffer,
+        mask: &[bool],
+        rng: &mut R,
+    ) -> f32 {
+        let fs = va_recording.sample_rate();
+        // Frame geometry of the paper's MFCC front-end.
+        let (frame_len, hop) = (400, 160);
+        let va_sel = extract_selected_samples(va_recording.samples(), mask, frame_len, hop);
+        let w_sel = extract_selected_samples(aligned_wearable.samples(), mask, frame_len, hop);
+        if (va_sel.len() as f32) < self.min_selected_s * fs as f32 {
+            // Too little sensitive-phoneme evidence: treat as an
+            // attack (legitimate commands always contain it).
+            return 0.0;
+        }
+        self.vibration_score(&va_sel, &w_sel, fs, rng)
     }
 
     /// RMS level every recording is replayed at: the wearable's speaker
@@ -285,6 +336,23 @@ mod tests {
         let (a, b) = recording_pair(&src, 0.0005, 7);
         let s = sys.score_with_method(DefenseMethod::AudioBaseline, &a, &b, &mut rng);
         assert!(s > 0.8, "score {s}");
+    }
+
+    #[test]
+    fn precomputed_mask_scoring_matches_full_method() {
+        let sys = DefenseSystem::paper_default();
+        let src = gen::chirp(150.0, 3_000.0, 0.1, 16_000, 1.0);
+        let (a, b) = recording_pair(&src, 0.001, 8);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let inline = sys.score_with_method(DefenseMethod::Full, &a, &b, &mut rng_a);
+        let mask = sys
+            .selector()
+            .sensitive_frames_batch(&[a.samples()], a.sample_rate())
+            .pop()
+            .unwrap();
+        let masked = sys.score_full_with_mask(&a, &b, &mask, &mut rng_b);
+        assert_eq!(inline.to_bits(), masked.to_bits());
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! IIR biquad and FIR filters.
+//! IIR biquad and FIR filters, and fast frequency-domain convolution.
 //!
 //! The defense pipeline uses a high-pass biquad to strip body-motion
 //! interference from accelerometer readings (Sec. IV-C), and the
 //! anti-aliasing decimator in [`crate::resample`] is built on the
-//! windowed-sinc FIR designed here.
+//! windowed-sinc FIR designed here. Long impulse responses (room
+//! reverberation) convolve through [`overlap_save_convolve`] on the
+//! planned real-input FFT instead of the O(N·M) direct form.
 
 use crate::error::DspError;
+use crate::fft::{half_spectrum_into, next_pow2};
 use crate::window::WindowKind;
 
 /// A second-order IIR section (biquad) in direct form I, with RBJ cookbook
@@ -165,6 +168,57 @@ pub fn fir_filter(signal: &[f32], h: &[f32]) -> Vec<f32> {
     out
 }
 
+/// Full linear convolution of `signal` with impulse response `ir` via the
+/// overlap-save method: the IR spectrum is computed once, then the signal
+/// streams through fixed-size FFT blocks, each contributing
+/// `n - (ir.len() - 1)` valid output samples after the time-aliased
+/// prefix is discarded. Output length is `signal.len() + ir.len() - 1`
+/// (the direct-form convolution's), and the FFT size is
+/// `next_pow2(max(4·ir.len(), 256))` so per-sample cost stays
+/// `O(log ir.len())` regardless of signal length.
+///
+/// Runs on the planned real-input transform ([`half_spectrum_into`]), so
+/// steady state rebuilds no twiddle tables.
+pub fn overlap_save_convolve(signal: &[f32], ir: &[f32]) -> Vec<f32> {
+    if signal.is_empty() || ir.is_empty() {
+        return Vec::new();
+    }
+    let m = ir.len();
+    let out_len = signal.len() + m - 1;
+    let n = next_pow2((4 * m).max(256));
+    let step = n - (m - 1);
+    let mut ir_spec = Vec::new();
+    half_spectrum_into(ir, n, &mut ir_spec);
+    let mut out = Vec::with_capacity(out_len);
+    let mut block = vec![0.0f32; n];
+    let mut spec = Vec::new();
+    let mut time = Vec::new();
+    let mut pos = 0usize;
+    while pos < out_len {
+        // The block covers input samples [pos - (m-1), pos + step);
+        // indices outside the signal are zeros (they produce the leading
+        // ramp of the first block and the convolution tail of the last).
+        for (j, slot) in block.iter_mut().enumerate() {
+            let idx = pos as isize + j as isize - (m as isize - 1);
+            *slot = if idx >= 0 && (idx as usize) < signal.len() {
+                signal[idx as usize]
+            } else {
+                0.0
+            };
+        }
+        half_spectrum_into(&block, n, &mut spec);
+        for (v, &h) in spec.iter_mut().zip(&ir_spec) {
+            *v *= h;
+        }
+        time.clear();
+        crate::fft::real_inverse_into(&spec, n, &mut time);
+        let take = step.min(out_len - pos);
+        out.extend_from_slice(&time[m - 1..m - 1 + take]);
+        pos += step;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +297,56 @@ mod tests {
     #[test]
     fn fir_rejects_too_few_taps() {
         assert!(fir_lowpass(2, 80.0, 16_000.0).is_err());
+    }
+
+    /// Direct O(N·M) reference convolution.
+    fn naive_convolve(signal: &[f32], ir: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; signal.len() + ir.len() - 1];
+        for (i, &s) in signal.iter().enumerate() {
+            for (k, &h) in ir.iter().enumerate() {
+                out[i + k] += s * h;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overlap_save_matches_direct_convolution() {
+        // Signal lengths straddling one/many blocks and IR lengths
+        // straddling the FFT-size floor.
+        for (sig_len, ir_len) in [(50usize, 3usize), (400, 64), (1_000, 129), (257, 257)] {
+            let signal: Vec<f32> = (0..sig_len)
+                .map(|i| ((i * 37) % 19) as f32 * 0.1 - 0.9)
+                .collect();
+            let ir: Vec<f32> = (0..ir_len)
+                .map(|k| ((k * 11) % 7) as f32 * 0.05 - 0.15)
+                .collect();
+            let fast = overlap_save_convolve(&signal, &ir);
+            let reference = naive_convolve(&signal, &ir);
+            assert_eq!(fast.len(), reference.len());
+            let scale = reference.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                assert!(
+                    (f - r).abs() / scale < 1e-4,
+                    "sig {sig_len} ir {ir_len} sample {i}: {f} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_save_empty_inputs() {
+        assert!(overlap_save_convolve(&[], &[1.0]).is_empty());
+        assert!(overlap_save_convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn overlap_save_impulse_ir_is_identity() {
+        let signal: Vec<f32> = (0..300).map(|i| (i as f32 * 0.1).sin()).collect();
+        let out = overlap_save_convolve(&signal, &[1.0]);
+        assert_eq!(out.len(), signal.len());
+        for (a, b) in signal.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4);
+        }
     }
 }

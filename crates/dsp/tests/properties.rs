@@ -298,3 +298,31 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Overlap-save frequency-domain convolution is a drop-in for the
+    /// direct O(N·M) form on arbitrary signal/IR lengths.
+    #[test]
+    fn overlap_save_convolution_matches_direct_form(
+        signal in signal_strategy(600),
+        ir in signal_strategy(80),
+    ) {
+        let fast = thrubarrier_dsp::filter::overlap_save_convolve(&signal, &ir);
+        let mut reference = vec![0.0f32; signal.len() + ir.len() - 1];
+        for (i, &s) in signal.iter().enumerate() {
+            for (k, &h) in ir.iter().enumerate() {
+                reference[i + k] += s * h;
+            }
+        }
+        prop_assert_eq!(fast.len(), reference.len());
+        let scale = reference.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+        for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                (f - r).abs() / scale < 1e-4,
+                "sample {}: {} vs {}", i, f, r
+            );
+        }
+    }
+}

@@ -94,6 +94,7 @@ fn base_runner(
         settings,
         selector: cfg.selector,
         threads: cfg.threads,
+        batch_size: 8,
     }
 }
 

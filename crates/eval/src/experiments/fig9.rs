@@ -88,6 +88,7 @@ pub fn run(cfg: &DetectionStudyConfig) -> DetectionStudy {
         settings: standard_settings(),
         selector: cfg.selector,
         threads: cfg.threads,
+        batch_size: 8,
     };
     let runner = Runner::new(runner_cfg);
     let outcome = runner.run();

@@ -57,6 +57,11 @@ pub struct RunnerConfig {
     pub selector: SelectorChoice,
     /// Worker threads.
     pub threads: usize,
+    /// Trials scored per minibatch inside each worker: their
+    /// sensitive-frame masks are computed in one batched BRNN pass
+    /// ([`SegmentSelector::sensitive_frames_batch`]) instead of one
+    /// forward pass per trial.
+    pub batch_size: usize,
 }
 
 impl Default for RunnerConfig {
@@ -70,6 +75,7 @@ impl Default for RunnerConfig {
             settings: vec![TrialSettings::default()],
             selector: SelectorChoice::Energy,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            batch_size: 8,
         }
     }
 }
@@ -216,14 +222,30 @@ impl Runner {
                     scope.spawn(move || {
                         let generator = TrialGenerator::new();
                         let bank = CommandBank::standard();
-                        chunk
-                            .iter()
-                            .map(|plan| {
-                                let scores =
-                                    execute_plan(plan, cfg, &generator, &bank, system, utterances);
-                                (plan.clone(), scores)
-                            })
-                            .collect()
+                        let mut out = Vec::with_capacity(chunk.len());
+                        // Trials are scored in minibatches: every group's
+                        // sensitive-frame masks come from one batched BRNN
+                        // pass, then each trial reuses its precomputed mask.
+                        for group in chunk.chunks(cfg.batch_size.max(1)) {
+                            let trials: Vec<(Trial, u64)> = group
+                                .iter()
+                                .map(|plan| build_trial(plan, cfg, &generator, &bank, utterances))
+                                .collect();
+                            let recordings: Vec<&[f32]> = trials
+                                .iter()
+                                .map(|(t, _)| t.va_recording.samples())
+                                .collect();
+                            let masks = system
+                                .selector()
+                                .sensitive_frames_batch(&recordings, crate::scenario::AUDIO_RATE);
+                            for ((plan, (trial, seed)), mask) in
+                                group.iter().zip(&trials).zip(&masks)
+                            {
+                                let scores = score_trial_with_mask(trial, *seed, system, mask);
+                                out.push((plan.clone(), scores));
+                            }
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -375,15 +397,15 @@ impl UtteranceCache {
     }
 }
 
-fn execute_plan(
+/// Synthesizes the recordings of one planned trial (no scoring).
+fn build_trial(
     plan: &TrialPlan,
     cfg: &RunnerConfig,
     generator: &TrialGenerator,
     bank: &CommandBank,
-    system: &DefenseSystem,
     utterances: &UtteranceCache,
-) -> [f32; 3] {
-    let (trial, seed) = match plan {
+) -> (Trial, u64) {
+    match plan {
         TrialPlan::Legitimate {
             seed,
             user,
@@ -416,8 +438,7 @@ fn execute_plan(
                 *seed,
             )
         }
-    };
-    score_trial(&trial, seed, system)
+    }
 }
 
 /// Scores one trial with all three methods (deterministic per seed).
@@ -431,6 +452,37 @@ pub fn score_trial(trial: &Trial, seed: u64, system: &DefenseSystem) -> [f32; 3]
             &trial.wearable_recording,
             &mut rng,
         );
+    }
+    out
+}
+
+/// [`score_trial`] with a precomputed sensitive-frame mask for the full
+/// method — score-identical when `mask` matches what the system's own
+/// selector would produce on the trial's VA recording.
+fn score_trial_with_mask(
+    trial: &Trial,
+    seed: u64,
+    system: &DefenseSystem,
+    mask: &[bool],
+) -> [f32; 3] {
+    let mut out = [0.0f32; 3];
+    for (i, method) in DefenseMethod::all().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0xC0FFEE + i as u64));
+        out[i] = if method == DefenseMethod::Full {
+            system.score_full_with_mask(
+                &trial.va_recording,
+                &trial.wearable_recording,
+                mask,
+                &mut rng,
+            )
+        } else {
+            system.score_with_method(
+                method,
+                &trial.va_recording,
+                &trial.wearable_recording,
+                &mut rng,
+            )
+        };
     }
     out
 }
@@ -449,6 +501,7 @@ mod tests {
             settings: vec![TrialSettings::default()],
             selector: SelectorChoice::Energy,
             threads: 2,
+            batch_size: 3,
         }
     }
 
@@ -493,6 +546,27 @@ mod tests {
             a.pool(DefenseMethod::Full).attack_scores(),
             b.pool(DefenseMethod::Full).attack_scores()
         );
+    }
+
+    #[test]
+    fn scores_are_invariant_to_batch_size() {
+        // The minibatched mask path must reproduce per-trial scoring
+        // exactly: batch size 1 degenerates to one mask per BRNN pass.
+        let runs: Vec<EvalOutcome> = [1usize, 3, 16]
+            .into_iter()
+            .map(|batch_size| {
+                let mut cfg = tiny_config();
+                cfg.batch_size = batch_size;
+                Runner::new(cfg).run()
+            })
+            .collect();
+        let reference = &runs[0];
+        for other in &runs[1..] {
+            for (m, pool) in &reference.pools {
+                assert_eq!(pool.legitimate, other.pool(*m).legitimate);
+                assert_eq!(pool.attacks, other.pool(*m).attacks);
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub fn tanh_slice(xs: &mut [f32]) {
         unsafe { tanh_slice_avx2(xs) };
         return;
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        unsafe { tanh_slice_neon(xs) };
+        return;
+    }
     for x in xs {
         *x = tanh(*x);
     }
@@ -100,6 +106,12 @@ pub fn sigmoid_slice(xs: &mut [f32]) {
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: guarded by the runtime AVX2 check above.
         unsafe { sigmoid_slice_avx2(xs) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        unsafe { sigmoid_slice_neon(xs) };
         return;
     }
     for x in xs {
@@ -172,6 +184,70 @@ unsafe fn tanh_lanes(x: std::arch::x86_64::__m256) -> std::arch::x86_64::__m256 
         q = _mm256_add_ps(_mm256_mul_ps(q, x2), _mm256_set1_ps(b));
     }
     _mm256_div_ps(_mm256_mul_ps(x, p), q)
+}
+
+/// Four-wide [`tanh`] for aarch64: the same clamp, polynomial and
+/// division sequence as the scalar kernel. `vminq`/`vmaxq`/`vmulq`/
+/// `vaddq`/`vdivq` round exactly like their scalar IEEE counterparts
+/// and no fused multiply-add is emitted, so every lane is bitwise
+/// identical to `tanh(x)`.
+#[cfg(target_arch = "aarch64")]
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn tanh_slice_neon(xs: &mut [f32]) {
+    use std::arch::aarch64::{vld1q_f32, vst1q_f32};
+    let mut chunks = xs.chunks_exact_mut(4);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly four elements.
+        let x = unsafe { vld1q_f32(chunk.as_ptr()) };
+        let y = tanh_lanes_neon(x);
+        unsafe { vst1q_f32(chunk.as_mut_ptr(), y) };
+    }
+    for x in chunks.into_remainder() {
+        *x = tanh(*x);
+    }
+}
+
+/// Four-wide [`sigmoid`] for aarch64, mirroring the scalar identity
+/// `0.5 * tanh(0.5 * x) + 0.5` op for op.
+#[cfg(target_arch = "aarch64")]
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn sigmoid_slice_neon(xs: &mut [f32]) {
+    use std::arch::aarch64::{vaddq_f32, vdupq_n_f32, vld1q_f32, vmulq_f32, vst1q_f32};
+    let half = vdupq_n_f32(0.5);
+    let mut chunks = xs.chunks_exact_mut(4);
+    for chunk in &mut chunks {
+        // SAFETY: `chunk` is exactly four elements.
+        let x = unsafe { vld1q_f32(chunk.as_ptr()) };
+        let t = tanh_lanes_neon(vmulq_f32(half, x));
+        let y = vaddq_f32(vmulq_f32(half, t), half);
+        unsafe { vst1q_f32(chunk.as_mut_ptr(), y) };
+    }
+    for x in chunks.into_remainder() {
+        *x = sigmoid(*x);
+    }
+}
+
+/// Lane-parallel body of [`tanh`] on NEON; op-for-op the scalar
+/// sequence (separate multiply and add — `vfmaq_f32` would contract
+/// the rounding and break bitwise parity).
+#[cfg(target_arch = "aarch64")]
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn tanh_lanes_neon(x: std::arch::aarch64::float32x4_t) -> std::arch::aarch64::float32x4_t {
+    use std::arch::aarch64::{vaddq_f32, vdivq_f32, vdupq_n_f32, vmaxq_f32, vminq_f32, vmulq_f32};
+    let x = vminq_f32(vmaxq_f32(x, vdupq_n_f32(-CLAMP)), vdupq_n_f32(CLAMP));
+    let x2 = vmulq_f32(x, x);
+    let mut p = vdupq_n_f32(NUM[0]);
+    for &a in &NUM[1..] {
+        p = vaddq_f32(vmulq_f32(p, x2), vdupq_n_f32(a));
+    }
+    let mut q = vdupq_n_f32(DEN[0]);
+    for &b in &DEN[1..] {
+        q = vaddq_f32(vmulq_f32(q, x2), vdupq_n_f32(b));
+    }
+    vdivq_f32(vmulq_f32(x, p), q)
 }
 
 #[cfg(test)]

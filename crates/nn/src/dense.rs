@@ -112,6 +112,37 @@ impl Dense {
         dxs
     }
 
+    /// Applies the layer to `n` flat row-major frames in one GEMM —
+    /// the batched-engine counterpart of per-frame [`Dense::apply`].
+    /// Each output row matches `apply` bitwise (shared per-row fold of
+    /// [`Matrix::matmul_nt`] plus the same single bias add).
+    pub(crate) fn forward_flat(&self, x: &[f32], n: usize, out: &mut Vec<f32>) {
+        self.w.value.matmul_nt_into(x, n, out);
+        let bias = self.b.value.data();
+        for row in out.chunks_exact_mut(self.output_size().max(1)) {
+            for (v, &bv) in row.iter_mut().zip(bias) {
+                *v += bv;
+            }
+        }
+    }
+
+    /// Flat-batch backward: `x` holds the `n` cached input rows,
+    /// `dys` the `n` output-gradient rows. Parameter gradients are
+    /// accumulated as one `dW += dYᵀ·X` GEMM plus a bias column sum;
+    /// input gradients land in `dx` (resized to `n x input_size`).
+    pub(crate) fn backward_flat(&mut self, x: &[f32], dys: &[f32], n: usize, dx: &mut Vec<f32>) {
+        self.w.grad.add_tn_product(dys, x, n);
+        let bg = self.b.grad.data_mut();
+        for row in dys.chunks_exact(self.w.value.rows().max(1)) {
+            for (slot, &d) in bg.iter_mut().zip(row) {
+                *slot += d;
+            }
+        }
+        dx.clear();
+        dx.resize(n * self.input_size(), 0.0);
+        self.w.value.matmul_t_to(dys, n, dx);
+    }
+
     /// The layer's trainable parameters.
     pub fn params_mut(&mut self) -> [&mut Param; 2] {
         [&mut self.w, &mut self.b]
@@ -158,6 +189,39 @@ mod tests {
         for (j, &dx) in dxs[0].iter().enumerate().take(3) {
             let expected = layer.w.value.get(0, j) + layer.w.value.get(1, j);
             assert!((dx - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn flat_paths_match_per_frame_paths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Dense::new(3, 2, &mut rng);
+        let xs = vec![
+            vec![0.3, -0.7, 0.5],
+            vec![1.0, 0.0, -1.0],
+            vec![0.2, 0.9, 0.4],
+        ];
+        let flat: Vec<f32> = xs.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        layer.forward_flat(&flat, 3, &mut out);
+        for (t, x) in xs.iter().enumerate() {
+            assert_eq!(&out[t * 2..(t + 1) * 2], layer.apply(x).as_slice());
+        }
+
+        let dys = vec![vec![1.0f32, -0.5], vec![0.25, 2.0], vec![-1.5, 0.75]];
+        let dys_flat: Vec<f32> = dys.iter().flatten().copied().collect();
+        let mut per_frame = layer.clone();
+        let (_, cache) = per_frame.forward(&xs);
+        let dxs = per_frame.backward(&cache, &dys);
+        let mut batched = layer.clone();
+        let mut dx = Vec::new();
+        batched.backward_flat(&flat, &dys_flat, 3, &mut dx);
+        for (a, b) in batched.w.grad.data().iter().zip(per_frame.w.grad.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(batched.b.grad.data(), per_frame.b.grad.data());
+        for (t, dxt) in dxs.iter().enumerate() {
+            assert_eq!(&dx[t * 3..(t + 1) * 3], dxt.as_slice());
         }
     }
 

@@ -15,6 +15,7 @@
 //! matrix differs from the `W`-side one.
 
 use crate::act::{sigmoid, tanh};
+use crate::batch::{BatchWorkspace, DirCache, PackedBatch};
 use crate::matrix::{pack_rows, GemmScratch, Matrix};
 use crate::param::Param;
 use rand::Rng;
@@ -219,6 +220,178 @@ impl Gru {
         dxs
     }
 
+    /// Batched forward pass over a packed minibatch, mirroring
+    /// [`crate::lstm::Lstm::forward_batch_dir`]: the recurrent `U·h` of
+    /// every active sequence runs as one `3H×H × H×nb` GEMM per step
+    /// and the input projections come from the epoch-persistent
+    /// `dir.proj` cache. Hidden states are *added* into `out[seq][t]`
+    /// (index-reversed when `reversed`); activations are cached in
+    /// `dir` for [`Gru::backward_batch_dir`].
+    pub(crate) fn forward_batch_dir(
+        &self,
+        pack: &PackedBatch,
+        dir: &mut DirCache,
+        reversed: bool,
+        scratch: &mut GemmScratch,
+        out: &mut [Vec<Vec<f32>>],
+    ) {
+        let hl = self.hidden_size;
+        let gr = 3 * hl;
+        assert_eq!(pack.width(), self.input_size, "input dimension mismatch");
+        let total = pack.total_rows();
+        // Unlike the LSTM cache, `proj` stays bare `W·x`: the GRU cell
+        // adds `wx + uh + bias` in that association order, so folding
+        // the bias in here would change the sums bitwise.
+        let key = (self.w.version(), self.b.version());
+        if dir.proj_key != Some(key) {
+            dir.proj.clear();
+            dir.proj.resize(total * gr, 0.0);
+            self.w
+                .value
+                .matmul_nt_to(pack.x(reversed), total, &mut dir.proj, false);
+            dir.proj_key = Some(key);
+        }
+        dir.h_prev.clear();
+        dir.h_prev.resize(total * hl, 0.0);
+        dir.gates.clear();
+        dir.gates.resize(total * gr, 0.0);
+        dir.aux.clear();
+        dir.aux.resize(total * hl, 0.0);
+        let nb0 = if pack.max_len() == 0 {
+            0
+        } else {
+            pack.active(0)
+        };
+        let GemmScratch { bh, bt, .. } = scratch;
+        bh.clear();
+        bh.resize(nb0 * hl, 0.0);
+        bt.clear();
+        bt.resize(nb0 * gr, 0.0);
+        let bias = self.b.value.data();
+        for t in 0..pack.max_len() {
+            let nb = pack.active(t);
+            let off = pack.offset(t);
+            dir.h_prev[off * hl..(off + nb) * hl].copy_from_slice(&bh[..nb * hl]);
+            // uh = U·h_{t-1} for all active rows; the n-block stays
+            // separate from the input projection because it is gated by
+            // r before entering tanh.
+            self.u
+                .value
+                .matmul_nt_to(&bh[..nb * hl], nb, &mut bt[..nb * gr], false);
+            for b in 0..nb {
+                let r = off + b;
+                let uh = &bt[b * gr..(b + 1) * gr];
+                let wx = &dir.proj[r * gr..(r + 1) * gr];
+                let gates = &mut dir.gates[r * gr..(r + 1) * gr];
+                let un_h = &mut dir.aux[r * hl..(r + 1) * hl];
+                let h = &mut bh[b * hl..(b + 1) * hl];
+                for k in 0..hl {
+                    gates[k] = sigmoid(wx[k] + uh[k] + bias[k]);
+                    gates[hl + k] = sigmoid(wx[hl + k] + uh[hl + k] + bias[hl + k]);
+                    un_h[k] = uh[2 * hl + k];
+                }
+                for k in 0..hl {
+                    gates[2 * hl + k] =
+                        tanh(wx[2 * hl + k] + gates[hl + k] * un_h[k] + bias[2 * hl + k]);
+                }
+                for k in 0..hl {
+                    h[k] = (1.0 - gates[k]) * gates[2 * hl + k] + gates[k] * h[k];
+                }
+            }
+            for b in 0..nb {
+                let pos = if reversed { pack.lens()[b] - 1 - t } else { t };
+                let dst = &mut out[pack.order()[b]][pos];
+                for (o, &v) in dst.iter_mut().zip(&bh[b * hl..(b + 1) * hl]) {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    /// Batched BPTT over a packed minibatch; `dhs[i]` is caller
+    /// sequence `i`'s flat output gradient (`len_i x H` row-major,
+    /// natural time order). Accumulates parameter gradients only —
+    /// input gradients are skipped as in
+    /// [`crate::lstm::Lstm::backward_batch_dir`].
+    pub(crate) fn backward_batch_dir(
+        &mut self,
+        pack: &PackedBatch,
+        dir: &DirCache,
+        reversed: bool,
+        dhs: &[&[f32]],
+        scratch: &mut GemmScratch,
+    ) {
+        let hl = self.hidden_size;
+        let gr = 3 * hl;
+        let total = pack.total_rows();
+        let nb0 = if pack.max_len() == 0 {
+            0
+        } else {
+            pack.active(0)
+        };
+        let GemmScratch {
+            dz, dz_u, bh, bc, ..
+        } = scratch;
+        dz.clear();
+        dz.resize(total * gr, 0.0);
+        dz_u.clear();
+        dz_u.resize(total * gr, 0.0);
+        // bh holds dh_next rows (zero for sequences joining the reverse
+        // traversal at their final step), bc the Uᵀ·dU temporaries.
+        bh.clear();
+        bh.resize(nb0 * hl, 0.0);
+        bc.clear();
+        bc.resize(nb0 * hl, 0.0);
+        for t in (0..pack.max_len()).rev() {
+            let nb = pack.active(t);
+            let off = pack.offset(t);
+            for b in 0..nb {
+                let r = off + b;
+                let gates = &dir.gates[r * gr..(r + 1) * gr];
+                let (gz, grt, gn) = (&gates[..hl], &gates[hl..2 * hl], &gates[2 * hl..]);
+                let h_prev = &dir.h_prev[r * hl..(r + 1) * hl];
+                let un_h = &dir.aux[r * hl..(r + 1) * hl];
+                let dz_t = &mut dz[r * gr..(r + 1) * gr];
+                let du_t = &mut dz_u[r * gr..(r + 1) * gr];
+                let pos = if reversed { pack.lens()[b] - 1 - t } else { t };
+                let dh_seq = &dhs[pack.order()[b]][pos * hl..(pos + 1) * hl];
+                let dh_next = &mut bh[b * hl..(b + 1) * hl];
+                for k in 0..hl {
+                    let dh = dh_seq[k] + dh_next[k];
+                    let d_z = dh * (h_prev[k] - gn[k]);
+                    let d_n = dh * (1.0 - gz[k]);
+                    let dz_pre = d_z * gz[k] * (1.0 - gz[k]);
+                    let dn_pre = d_n * (1.0 - gn[k] * gn[k]);
+                    let d_r = dn_pre * un_h[k];
+                    let dr_pre = d_r * grt[k] * (1.0 - grt[k]);
+                    dz_t[k] = dz_pre;
+                    dz_t[hl + k] = dr_pre;
+                    dz_t[2 * hl + k] = dn_pre;
+                    du_t[k] = dz_pre;
+                    du_t[hl + k] = dr_pre;
+                    du_t[2 * hl + k] = dn_pre * grt[k];
+                    // Direct-path half of dh_next; the Uᵀ half joins
+                    // after the step's transposed GEMM below.
+                    dh_next[k] = dh * gz[k];
+                }
+            }
+            self.u
+                .value
+                .matmul_t_to(&dz_u[off * gr..(off + nb) * gr], nb, &mut bc[..nb * hl]);
+            for (slot, &d) in bh[..nb * hl].iter_mut().zip(&bc[..nb * hl]) {
+                *slot += d;
+            }
+        }
+        self.w.grad.add_tn_product(dz, pack.x(reversed), total);
+        self.u.grad.add_tn_product(dz_u, &dir.h_prev, total);
+        let bg = self.b.grad.data_mut();
+        for row in dz.chunks_exact(gr) {
+            for (slot, &d) in bg.iter_mut().zip(row) {
+                *slot += d;
+            }
+        }
+    }
+
     /// The layer's trainable parameters.
     pub fn params_mut(&mut self) -> [&mut Param; 3] {
         [&mut self.w, &mut self.u, &mut self.b]
@@ -297,6 +470,45 @@ impl BiGru {
             }
         }
         dxs
+    }
+
+    /// Batched forward over a minibatch of sequences (see
+    /// [`crate::lstm::BiLstm::forward_batch`]): packs the batch into
+    /// `ws`, runs both directions through the GEMM engine and returns
+    /// summed hidden states per sequence in caller order, caching
+    /// activations in `ws` for [`BiGru::backward_batch`].
+    pub fn forward_batch(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<Vec<f32>>> {
+        ws.prepare(seqs, self.fwd.input_size());
+        let mut out: Vec<Vec<Vec<f32>>> = seqs
+            .iter()
+            .map(|s| vec![vec![0.0f32; self.hidden_size()]; s.len()])
+            .collect();
+        let BatchWorkspace { pack, fwd, bwd, .. } = ws;
+        self.fwd
+            .forward_batch_dir(pack, fwd, false, scratch, &mut out);
+        self.bwd
+            .forward_batch_dir(pack, bwd, true, scratch, &mut out);
+        out
+    }
+
+    /// Batched BPTT through both directions; `dhs[i]` is caller
+    /// sequence `i`'s flat output gradient (`len_i x H` row-major).
+    /// Must follow a [`BiGru::forward_batch`] on the same workspace.
+    pub fn backward_batch(
+        &mut self,
+        ws: &BatchWorkspace,
+        dhs: &[&[f32]],
+        scratch: &mut GemmScratch,
+    ) {
+        self.fwd
+            .backward_batch_dir(&ws.pack, &ws.fwd, false, dhs, scratch);
+        self.bwd
+            .backward_batch_dir(&ws.pack, &ws.bwd, true, dhs, scratch);
     }
 
     /// All trainable parameters of both directions.
@@ -450,5 +662,69 @@ mod tests {
         let (hs, cache) = gru.forward(&[]);
         assert!(hs.is_empty());
         assert!(gru.backward(&cache, &[]).is_empty());
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_identical_at_wide_hidden_sizes() {
+        use crate::batch::BatchWorkspace;
+        // H = 34 keeps the recurrent GEMM on the wide path; mixed
+        // lengths exercise the shrinking active prefix.
+        let mut rng = StdRng::seed_from_u64(51);
+        let bi = BiGru::new(3, 34, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = [6usize, 1, 4, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| toy_inputs(len, 3, 500 + i as u64))
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let batched = bi.forward_batch(&refs, &mut ws, &mut scratch);
+        for (i, seq) in seqs.iter().enumerate() {
+            let (sequential, _) = bi.forward_with_scratch(seq, &mut scratch);
+            assert_eq!(batched[i], sequential, "seq {i}");
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_sequential_gradients() {
+        use crate::batch::BatchWorkspace;
+        let (d, h) = (3usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(53);
+        let bi = BiGru::new(d, h, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = [3usize, 5, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| toy_inputs(len, d, 600 + i as u64))
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut scratch = GemmScratch::new();
+
+        let mut seq_model = bi.clone();
+        for seq in &seqs {
+            let (_, cache) = seq_model.forward_with_scratch(seq, &mut scratch);
+            let dhs = vec![vec![1.0f32; h]; seq.len()];
+            seq_model.backward(&cache, &dhs);
+        }
+
+        let mut bat_model = bi.clone();
+        let mut ws = BatchWorkspace::new();
+        bat_model.forward_batch(&refs, &mut ws, &mut scratch);
+        let flat: Vec<Vec<f32>> = seqs.iter().map(|s| vec![1.0f32; s.len() * h]).collect();
+        let dhs: Vec<&[f32]> = flat.iter().map(|v| v.as_slice()).collect();
+        bat_model.backward_batch(&ws, &dhs, &mut scratch);
+
+        for (ps, pb) in [
+            (&seq_model.fwd.w, &bat_model.fwd.w),
+            (&seq_model.fwd.u, &bat_model.fwd.u),
+            (&seq_model.fwd.b, &bat_model.fwd.b),
+            (&seq_model.bwd.w, &bat_model.bwd.w),
+            (&seq_model.bwd.u, &bat_model.bwd.u),
+            (&seq_model.bwd.b, &bat_model.bwd.b),
+        ] {
+            for (a, b) in ps.grad.data().iter().zip(pb.grad.data()) {
+                assert!((a - b).abs() < 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
     }
 }

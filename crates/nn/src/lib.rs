@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod act;
+pub mod batch;
 pub mod dense;
 pub mod gru;
 pub mod loss;
@@ -58,5 +59,6 @@ pub mod model;
 pub mod param;
 pub mod serialize;
 
+pub use batch::BatchWorkspace;
 pub use matrix::{GemmScratch, Matrix};
 pub use model::BrnnClassifier;

@@ -28,6 +28,7 @@
 //! skips the activation caches entirely.
 
 use crate::act::{sigmoid_slice, tanh_slice};
+use crate::batch::{BatchWorkspace, DirCache, PackedBatch};
 use crate::matrix::{pack_rows, GemmScratch, Matrix};
 use crate::param::Param;
 use rand::Rng;
@@ -392,6 +393,285 @@ impl Lstm {
         dxs
     }
 
+    /// Fills (or reuses) the epoch-persistent projection cache for one
+    /// direction: `dir.proj` row `r` becomes `W·x_r + b`, keyed by the
+    /// `(W, b)` parameter versions. The bias is folded in here once so
+    /// every step of every forward pass starts from a plain row copy
+    /// instead of an elementwise add; because the fold computes exactly
+    /// the `p + b` sums the per-step loops used to, gate pre-activations
+    /// are bitwise unchanged.
+    fn fill_proj(&self, pack: &PackedBatch, dir: &mut DirCache, reversed: bool) {
+        let gr = 4 * self.hidden_size;
+        let key = (self.w.version(), self.b.version());
+        if dir.proj_key == Some(key) {
+            return;
+        }
+        let total = pack.total_rows();
+        dir.proj.clear();
+        dir.proj.resize(total * gr, 0.0);
+        self.w
+            .value
+            .matmul_nt_to(pack.x(reversed), total, &mut dir.proj, false);
+        let bias = self.b.value.data();
+        for row in dir.proj.chunks_exact_mut(gr) {
+            for (p, &bv) in row.iter_mut().zip(bias) {
+                *p += bv;
+            }
+        }
+        dir.proj_key = Some(key);
+    }
+
+    /// Batched *training* forward pass over a packed minibatch (see
+    /// [`crate::batch`]). Each step runs the recurrent half as one
+    /// `4H×H × H×nb` GEMM over the step's active rows; the input
+    /// projections for the *whole batch* come from the epoch-persistent
+    /// cache of [`Lstm::fill_proj`]. Hidden states are *added* into
+    /// `out[seq][t]` (index-reversed when `reversed`); per-row
+    /// activations go through the same [`lstm_cell`] as the sequential
+    /// path and are cached in `dir` for [`Lstm::backward_batch_dir`].
+    ///
+    /// Every row of every step on the wide GEMM path (>= 32 columns) is
+    /// bitwise identical to the per-sequence engine: the projection
+    /// rows share the per-row fold of [`Matrix::matmul_nt`] and the
+    /// recurrent rows share the dot kernel plus single add of
+    /// [`Matrix::matvec_add_into`]. (The inference engine,
+    /// [`Lstm::infer_batch_dir_flat`], trades this bitwise match for
+    /// fused-FMA throughput.)
+    pub(crate) fn forward_batch_dir(
+        &self,
+        pack: &PackedBatch,
+        dir: &mut DirCache,
+        reversed: bool,
+        scratch: &mut GemmScratch,
+        out: &mut [Vec<Vec<f32>>],
+    ) {
+        let hl = self.hidden_size;
+        let gr = 4 * hl;
+        assert_eq!(pack.width(), self.input_size, "input dimension mismatch");
+        let total = pack.total_rows();
+        self.fill_proj(pack, dir, reversed);
+        dir.h_prev.clear();
+        dir.h_prev.resize(total * hl, 0.0);
+        dir.c_prev.clear();
+        dir.c_prev.resize(total * hl, 0.0);
+        dir.gates.clear();
+        dir.gates.resize(total * gr, 0.0);
+        dir.aux.clear();
+        dir.aux.resize(total * hl, 0.0);
+        let nb0 = if pack.max_len() == 0 {
+            0
+        } else {
+            pack.active(0)
+        };
+        let GemmScratch { bh, bc, bz, .. } = scratch;
+        bh.clear();
+        bh.resize(nb0 * hl, 0.0);
+        bc.clear();
+        bc.resize(nb0 * hl, 0.0);
+        bz.clear();
+        bz.resize(nb0 * gr, 0.0);
+        for t in 0..pack.max_len() {
+            // Active sequences are a shrinking prefix of the sorted
+            // batch, so rows 0..nb of bh/bc carry exactly the states of
+            // the sequences still running.
+            let nb = pack.active(t);
+            let off = pack.offset(t);
+            dir.h_prev[off * hl..(off + nb) * hl].copy_from_slice(&bh[..nb * hl]);
+            dir.c_prev[off * hl..(off + nb) * hl].copy_from_slice(&bc[..nb * hl]);
+            bz[..nb * gr].copy_from_slice(&dir.proj[off * gr..(off + nb) * gr]);
+            self.u
+                .value
+                .matmul_nt_to(&bh[..nb * hl], nb, &mut bz[..nb * gr], true);
+            for b in 0..nb {
+                let r = off + b;
+                lstm_cell(
+                    &bz[b * gr..(b + 1) * gr],
+                    &mut dir.gates[r * gr..(r + 1) * gr],
+                    &mut bc[b * hl..(b + 1) * hl],
+                    &mut bh[b * hl..(b + 1) * hl],
+                    &mut dir.aux[r * hl..(r + 1) * hl],
+                );
+            }
+            for b in 0..nb {
+                let pos = if reversed { pack.lens()[b] - 1 - t } else { t };
+                let dst = &mut out[pack.order()[b]][pos];
+                for (o, &v) in dst.iter_mut().zip(&bh[b * hl..(b + 1) * hl]) {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    /// Batched *inference* forward pass writing straight into the flat
+    /// packed output buffer `flat` (`total_rows x hidden`, packed-row
+    /// order — step `t`'s active rows contiguous at `pack.offset(t)`).
+    /// The forward direction stores its step block with one contiguous
+    /// copy; the reversed direction runs with `accumulate` and adds
+    /// each row at its natural time position. No per-step caches are
+    /// recorded, no per-frame vectors are allocated, and the recurrent
+    /// GEMM takes [`Matrix::matmul_nt_fused_to`] — halving its
+    /// floating-point instruction count at the price of matching the
+    /// sequential engine within fused-multiply-add rounding (~1e-6 on
+    /// bounded hidden states) instead of bitwise. Results stay
+    /// deterministic and bitwise batch-size invariant.
+    pub(crate) fn infer_batch_dir_flat(
+        &self,
+        pack: &PackedBatch,
+        dir: &mut DirCache,
+        reversed: bool,
+        scratch: &mut GemmScratch,
+        flat: &mut [f32],
+        accumulate: bool,
+    ) {
+        let hl = self.hidden_size;
+        let gr = 4 * hl;
+        assert_eq!(pack.width(), self.input_size, "input dimension mismatch");
+        assert_eq!(flat.len(), pack.total_rows() * hl, "flat output length");
+        self.fill_proj(pack, dir, reversed);
+        let nb0 = if pack.max_len() == 0 {
+            0
+        } else {
+            pack.active(0)
+        };
+        let GemmScratch { bh, bc, bz, .. } = scratch;
+        bh.clear();
+        bh.resize(nb0 * hl, 0.0);
+        bc.clear();
+        bc.resize(nb0 * hl, 0.0);
+        bz.clear();
+        bz.resize(nb0 * gr, 0.0);
+        for t in 0..pack.max_len() {
+            let nb = pack.active(t);
+            let off = pack.offset(t);
+            bz[..nb * gr].copy_from_slice(&dir.proj[off * gr..(off + nb) * gr]);
+            self.u
+                .value
+                .matmul_nt_fused_to(&bh[..nb * hl], nb, &mut bz[..nb * gr], true);
+            for b in 0..nb {
+                let c = &mut bc[b * hl..(b + 1) * hl];
+                let h = &mut bh[b * hl..(b + 1) * hl];
+                let zrow = &mut bz[b * gr..(b + 1) * gr];
+                sigmoid_slice(&mut zrow[..2 * hl]);
+                tanh_slice(&mut zrow[2 * hl..3 * hl]);
+                sigmoid_slice(&mut zrow[3 * hl..]);
+                let (gi, rest) = zrow.split_at(hl);
+                let (gf, rest) = rest.split_at(hl);
+                let (gg, go) = rest.split_at(hl);
+                for k in 0..hl {
+                    c[k] = gf[k] * c[k] + gi[k] * gg[k];
+                }
+                h.copy_from_slice(c);
+                tanh_slice(h);
+                for k in 0..hl {
+                    h[k] *= go[k];
+                }
+            }
+            if !reversed && !accumulate {
+                // Step t's rows are exactly the packed rows at its
+                // offset: one block copy replaces the per-row scatter.
+                flat[off * hl..(off + nb) * hl].copy_from_slice(&bh[..nb * hl]);
+            } else {
+                for b in 0..nb {
+                    let pos = if reversed { pack.lens()[b] - 1 - t } else { t };
+                    // Row `b` is active at `pos` too (`pos < lens[b]`),
+                    // so it owns packed row `offset(pos) + b`.
+                    let row = pack.offset(pos) + b;
+                    let src = &bh[b * hl..(b + 1) * hl];
+                    let dst = &mut flat[row * hl..(row + 1) * hl];
+                    if accumulate {
+                        for (o, &v) in dst.iter_mut().zip(src) {
+                            *o += v;
+                        }
+                    } else {
+                        dst.copy_from_slice(src);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched BPTT over a packed minibatch. `dhs[i]` is caller
+    /// sequence `i`'s flat output gradient, `len_i x H` row-major in
+    /// natural time order. Parameter gradients are accumulated into
+    /// `self.{w,u,b}.grad` as three GEMMs over all packed rows.
+    ///
+    /// Unlike [`Lstm::backward_with_scratch`] this does not return
+    /// input gradients: the classifier's inputs are data, so skipping
+    /// `dX = dZ·W` saves the input-side GEMM entirely.
+    pub(crate) fn backward_batch_dir(
+        &mut self,
+        pack: &PackedBatch,
+        dir: &DirCache,
+        reversed: bool,
+        dhs: &[&[f32]],
+        scratch: &mut GemmScratch,
+    ) {
+        let hl = self.hidden_size;
+        let gr = 4 * hl;
+        let total = pack.total_rows();
+        let nb0 = if pack.max_len() == 0 {
+            0
+        } else {
+            pack.active(0)
+        };
+        let GemmScratch { dz, bh, bc, .. } = scratch;
+        dz.clear();
+        dz.resize(total * gr, 0.0);
+        // bh/bc hold dh_next/dc_next rows. A sequence joins the reverse
+        // traversal at its own final step, where its rows have never
+        // been written — the zero boundary condition comes for free.
+        bh.clear();
+        bh.resize(nb0 * hl, 0.0);
+        bc.clear();
+        bc.resize(nb0 * hl, 0.0);
+        for t in (0..pack.max_len()).rev() {
+            let nb = pack.active(t);
+            let off = pack.offset(t);
+            for b in 0..nb {
+                let r = off + b;
+                let gates = &dir.gates[r * gr..(r + 1) * gr];
+                let (gi, gf, gg, go) = (
+                    &gates[..hl],
+                    &gates[hl..2 * hl],
+                    &gates[2 * hl..3 * hl],
+                    &gates[3 * hl..],
+                );
+                let tanh_c = &dir.aux[r * hl..(r + 1) * hl];
+                let c_prev = &dir.c_prev[r * hl..(r + 1) * hl];
+                let dz_t = &mut dz[r * gr..(r + 1) * gr];
+                let pos = if reversed { pack.lens()[b] - 1 - t } else { t };
+                let dh_seq = &dhs[pack.order()[b]][pos * hl..(pos + 1) * hl];
+                let dh_next = &bh[b * hl..(b + 1) * hl];
+                let dc_next = &mut bc[b * hl..(b + 1) * hl];
+                for k in 0..hl {
+                    let dh = dh_seq[k] + dh_next[k];
+                    let dc = dc_next[k] + dh * go[k] * (1.0 - tanh_c[k] * tanh_c[k]);
+                    let d_o = dh * tanh_c[k];
+                    let d_i = dc * gg[k];
+                    let d_f = dc * c_prev[k];
+                    let d_g = dc * gi[k];
+                    dz_t[k] = d_i * gi[k] * (1.0 - gi[k]);
+                    dz_t[hl + k] = d_f * gf[k] * (1.0 - gf[k]);
+                    dz_t[2 * hl + k] = d_g * (1.0 - gg[k] * gg[k]);
+                    dz_t[3 * hl + k] = d_o * go[k] * (1.0 - go[k]);
+                    dc_next[k] = dc * gf[k];
+                }
+            }
+            // dh_next for step t-1, all active rows in one GEMM.
+            self.u
+                .value
+                .matmul_t_to(&dz[off * gr..(off + nb) * gr], nb, &mut bh[..nb * hl]);
+        }
+        self.w.grad.add_tn_product(dz, pack.x(reversed), total);
+        self.u.grad.add_tn_product(dz, &dir.h_prev, total);
+        let bg = self.b.grad.data_mut();
+        for row in dz.chunks_exact(gr) {
+            for (slot, &d) in bg.iter_mut().zip(row) {
+                *slot += d;
+            }
+        }
+    }
+
     /// The layer's trainable parameters.
     pub fn params_mut(&mut self) -> [&mut Param; 3] {
         [&mut self.w, &mut self.u, &mut self.b]
@@ -500,6 +780,107 @@ impl BiLstm {
             }
         }
         dxs
+    }
+
+    /// Batched training forward over a minibatch of sequences: packs
+    /// (or re-uses the packed layout of) the batch into `ws`, runs both
+    /// directions through the GEMM engine and returns the summed hidden
+    /// states per sequence in *caller order*. The forward-pass caches
+    /// for [`BiLstm::backward_batch`] live in `ws`.
+    ///
+    /// A workspace is tied to one model: its projection caches are
+    /// keyed by this layer's weight versions.
+    pub fn forward_batch(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<Vec<f32>>> {
+        ws.prepare(seqs, self.fwd.input_size());
+        let mut out: Vec<Vec<Vec<f32>>> = seqs
+            .iter()
+            .map(|s| vec![vec![0.0f32; self.hidden_size()]; s.len()])
+            .collect();
+        let BatchWorkspace { pack, fwd, bwd, .. } = ws;
+        self.fwd
+            .forward_batch_dir(pack, fwd, false, scratch, &mut out);
+        self.bwd
+            .forward_batch_dir(pack, bwd, true, scratch, &mut out);
+        out
+    }
+
+    /// Batched inference into the workspace's flat packed buffer
+    /// (`ws.flat`, `total_rows x hidden`, packed-row order): the
+    /// forward direction writes, the reversed direction accumulates,
+    /// and no per-frame vectors are allocated anywhere. This is the
+    /// engine under [`BiLstm::hidden_states_batch`] and the batched
+    /// classifier head, which runs one flat GEMM straight over the
+    /// buffer. The recurrent GEMMs run on the fused-FMA kernel of
+    /// [`crate::matrix::Matrix::matmul_nt_fused_to`], so outputs match
+    /// the per-sequence engine within rounding rather than bitwise
+    /// (the training path, [`BiLstm::forward_batch`], stays bitwise).
+    pub(crate) fn hidden_states_batch_flat(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+    ) {
+        ws.prepare(seqs, self.fwd.input_size());
+        let BatchWorkspace {
+            pack,
+            fwd,
+            bwd,
+            flat,
+        } = ws;
+        let hl = self.hidden_size();
+        flat.clear();
+        flat.resize(pack.total_rows() * hl, 0.0);
+        self.fwd
+            .infer_batch_dir_flat(pack, fwd, false, scratch, flat, false);
+        self.bwd
+            .infer_batch_dir_flat(pack, bwd, true, scratch, flat, true);
+    }
+
+    /// Batched inference: summed hidden states per sequence in caller
+    /// order, without recording backward-pass caches. A re-nesting
+    /// wrapper around [`BiLstm::hidden_states_batch_flat`] — see there
+    /// for the numerics (fused recurrent GEMMs, within-rounding match
+    /// to the sequential engine).
+    pub fn hidden_states_batch(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<Vec<f32>>> {
+        self.hidden_states_batch_flat(seqs, ws, scratch);
+        let hl = self.hidden_size();
+        let pack = &ws.pack;
+        let mut out: Vec<Vec<Vec<f32>>> =
+            seqs.iter().map(|s| Vec::with_capacity(s.len())).collect();
+        for (b, (&i, &len)) in pack.order().iter().zip(pack.lens()).enumerate() {
+            out[i].extend((0..len).map(|t| {
+                let row = pack.offset(t) + b;
+                ws.flat[row * hl..(row + 1) * hl].to_vec()
+            }));
+        }
+        out
+    }
+
+    /// Batched BPTT through both directions. `dhs[i]` is caller
+    /// sequence `i`'s flat output gradient (`len_i x H` row-major).
+    /// Must follow a [`BiLstm::forward_batch`] on the same workspace.
+    /// Accumulates parameter gradients only (no input gradients — see
+    /// [`Lstm::backward_batch_dir`]).
+    pub fn backward_batch(
+        &mut self,
+        ws: &BatchWorkspace,
+        dhs: &[&[f32]],
+        scratch: &mut GemmScratch,
+    ) {
+        self.fwd
+            .backward_batch_dir(&ws.pack, &ws.fwd, false, dhs, scratch);
+        self.bwd
+            .backward_batch_dir(&ws.pack, &ws.bwd, true, dhs, scratch);
     }
 
     /// All trainable parameters of both directions.
@@ -732,6 +1113,128 @@ mod tests {
         let (fb, _) = bi.fwd.forward(&b);
         let df: f32 = fa[0].iter().zip(&fb[0]).map(|(x, y)| (x - y).abs()).sum();
         assert!(df < 1e-7, "forward LSTM at t=0 cannot depend on the future");
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential_at_wide_hidden_sizes() {
+        // H = 33 stays on the wide GEMM path (>= 32 recurrent columns)
+        // while exercising the dot kernel's tail passes; mixed lengths
+        // exercise the shrinking active prefix. The train path shares
+        // the sequential engine's kernels and must match bitwise; the
+        // inference path runs the fused recurrent GEMM and is only
+        // required to agree within fused-multiply-add rounding.
+        let mut rng = StdRng::seed_from_u64(31);
+        let bi = BiLstm::new(3, 33, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = [5usize, 2, 7, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| toy_inputs(len, 3, 100 + i as u64))
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let batched = bi.forward_batch(&refs, &mut ws, &mut scratch);
+        let inferred = bi.hidden_states_batch(&refs, &mut ws, &mut scratch);
+        for (i, seq) in seqs.iter().enumerate() {
+            let (sequential, _) = bi.forward_with_scratch(seq, &mut scratch);
+            assert_eq!(batched[i], sequential, "seq {i} (train path)");
+            for (t, (a, b)) in inferred[i].iter().zip(&sequential).enumerate() {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-5, "seq {i} t {t}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_sequential_gradients() {
+        let (d, h) = (3usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(33);
+        let bi = BiLstm::new(d, h, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = [4usize, 6, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| toy_inputs(len, d, 200 + i as u64))
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut scratch = GemmScratch::new();
+
+        // Sequential reference: accumulate gradients over all sequences
+        // with dL/dh = 1 everywhere.
+        let mut seq_model = bi.clone();
+        for seq in &seqs {
+            let (_, cache) = seq_model.forward_with_scratch(seq, &mut scratch);
+            let dhs = vec![vec![1.0f32; h]; seq.len()];
+            seq_model.backward_with_scratch(&cache, &dhs, &mut scratch);
+        }
+
+        let mut bat_model = bi.clone();
+        let mut ws = BatchWorkspace::new();
+        bat_model.forward_batch(&refs, &mut ws, &mut scratch);
+        let flat: Vec<Vec<f32>> = seqs.iter().map(|s| vec![1.0f32; s.len() * h]).collect();
+        let dhs: Vec<&[f32]> = flat.iter().map(|v| v.as_slice()).collect();
+        bat_model.backward_batch(&ws, &dhs, &mut scratch);
+
+        for (ps, pb) in [
+            (&seq_model.fwd.w, &bat_model.fwd.w),
+            (&seq_model.fwd.u, &bat_model.fwd.u),
+            (&seq_model.fwd.b, &bat_model.fwd.b),
+            (&seq_model.bwd.w, &bat_model.bwd.w),
+            (&seq_model.bwd.u, &bat_model.bwd.u),
+            (&seq_model.bwd.b, &bat_model.bwd.b),
+        ] {
+            for (a, b) in ps.grad.data().iter().zip(pb.grad.data()) {
+                assert!((a - b).abs() < 1e-4 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_cache_reuses_until_weights_step() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let bi = BiLstm::new(2, 3, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = vec![toy_inputs(3, 2, 300), toy_inputs(5, 2, 301)];
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let first = bi.forward_batch(&refs, &mut ws, &mut scratch);
+        let key = ws.fwd.proj_key;
+        assert_eq!(key, Some((bi.fwd.w.version(), bi.fwd.b.version())));
+        // Same batch, same weights: projections survive and outputs repeat.
+        let second = bi.forward_batch(&refs, &mut ws, &mut scratch);
+        assert_eq!(ws.fwd.proj_key, key);
+        assert_eq!(first, second);
+        // A weight step invalidates the cache and changes the outputs.
+        let mut stepped = bi.clone();
+        stepped.fwd.w.grad.set(0, 0, 1.0);
+        stepped
+            .fwd
+            .w
+            .adam_step(&crate::param::AdamConfig::default(), 1);
+        let third = stepped.forward_batch(&refs, &mut ws, &mut scratch);
+        assert_eq!(
+            ws.fwd.proj_key,
+            Some((stepped.fwd.w.version(), stepped.fwd.b.version()))
+        );
+        assert_ne!(ws.fwd.proj_key, key);
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn batched_paths_handle_empty_batches_and_sequences() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut bi = BiLstm::new(2, 3, &mut rng);
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let refs: Vec<&[Vec<f32>]> = vec![];
+        assert!(bi.forward_batch(&refs, &mut ws, &mut scratch).is_empty());
+        bi.backward_batch(&ws, &[], &mut scratch);
+        let empty: Vec<Vec<f32>> = vec![];
+        let one = toy_inputs(2, 2, 400);
+        let refs: Vec<&[Vec<f32>]> = vec![&empty, &one];
+        let out = bi.forward_batch(&refs, &mut ws, &mut scratch);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].len(), 2);
     }
 
     #[test]

@@ -39,6 +39,11 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
         // SAFETY: guarded by the runtime AVX2 check above.
         return unsafe { dot_avx2(a, b) };
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        return unsafe { dot_neon(a, b) };
+    }
     dot_scalar(a, b)
 }
 
@@ -116,6 +121,40 @@ unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
     s + dot_tail(ca.remainder(), cb.remainder())
 }
 
+/// NEON implementation of [`dot`]'s lane semantics: scalar lane
+/// `32i + 4j + k` lives in lane `k` of four-wide accumulator register
+/// `j` (`j < 8`), so the scalar reduction `m[k] = (acc[k] + acc[8+k]) +
+/// (acc[16+k] + acc[24+k])` maps to the register folds `(r0 + r2) +
+/// (r4 + r6)` (lanes 0..4 of `m`) and `(r1 + r3) + (r5 + r7)` (lanes
+/// 4..8). Multiplies and adds stay separate instructions — no
+/// `vfmaq_f32` contraction — so the result is bitwise identical to the
+/// portable path, exactly like the AVX2 kernel above.
+#[cfg(target_arch = "aarch64")]
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::aarch64::{vaddq_f32, vdupq_n_f32, vgetq_lane_f32, vld1q_f32, vmulq_f32};
+    let mut acc = [vdupq_n_f32(0.0); 8];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for (j, slot) in acc.iter_mut().enumerate() {
+            // SAFETY: `xa`/`xb` are exactly 32 elements, so offsets
+            // `4j..4j + 4` for `j < 8` are in bounds.
+            let va = unsafe { vld1q_f32(xa.as_ptr().add(4 * j)) };
+            let vb = unsafe { vld1q_f32(xb.as_ptr().add(4 * j)) };
+            *slot = vaddq_f32(*slot, vmulq_f32(va, vb));
+        }
+    }
+    let mlo = vaddq_f32(vaddq_f32(acc[0], acc[2]), vaddq_f32(acc[4], acc[6]));
+    let mhi = vaddq_f32(vaddq_f32(acc[1], acc[3]), vaddq_f32(acc[5], acc[7]));
+    let s = ((vgetq_lane_f32::<0>(mlo) + vgetq_lane_f32::<1>(mlo))
+        + (vgetq_lane_f32::<2>(mlo) + vgetq_lane_f32::<3>(mlo)))
+        + ((vgetq_lane_f32::<0>(mhi) + vgetq_lane_f32::<1>(mhi))
+            + (vgetq_lane_f32::<2>(mhi) + vgetq_lane_f32::<3>(mhi)));
+    s + dot_tail(ca.remainder(), cb.remainder())
+}
+
 /// Row loop of a matrix–vector product (`add` selects `out[r] += …`
 /// versus `out[r] = …`), dispatched once per call so the SIMD dot
 /// kernel inlines into the loop instead of being re-entered per row.
@@ -125,6 +164,12 @@ fn matvec_rows(data: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool)
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: guarded by the runtime AVX2 check above.
         unsafe { matvec_rows_avx2(data, cols, x, out, add) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        unsafe { matvec_rows_neon(data, cols, x, out, add) };
         return;
     }
     for (slot, row) in out.iter_mut().zip(data.chunks_exact(cols)) {
@@ -144,26 +189,52 @@ unsafe fn matvec_rows_avx2(data: &[f32], cols: usize, x: &[f32], out: &mut [f32]
     }
 }
 
+/// NEON instantiation of [`matvec_rows`]'s loop.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn matvec_rows_neon(data: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    for (slot, row) in out.iter_mut().zip(data.chunks_exact(cols)) {
+        // SAFETY: the caller established NEON support.
+        let d = unsafe { dot_neon(row, x) };
+        *slot = if add { *slot + d } else { d };
+    }
+}
+
 /// Column counts below this use the column-streaming layout in
 /// [`matmul_nt_narrow`]: the shared dot kernel's 32-lane body never
 /// engages on such short rows, leaving its reduction tree and tail
 /// handling as pure overhead per output element.
 const NARROW_COLS: usize = 32;
 
-/// Blocked loop of the time-batched `C = X · Wᵀ` product: each
+/// Blocked loop of the time-batched `C = X · Wᵀ` product (`add`
+/// selects accumulation onto the existing contents of `out`): each
 /// ~L1-sized panel of weight rows is reused across every timestep
 /// before moving to the next panel. Dispatched once per call, like
 /// [`matvec_rows`].
 #[inline]
-fn matmul_nt_rows(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+fn matmul_nt_rows(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32], add: bool) {
     if cols < NARROW_COLS {
-        matmul_nt_narrow(data, rows, cols, x, out);
+        matmul_nt_narrow(data, rows, cols, x, out, add);
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+    {
+        // SAFETY: guarded by the runtime AVX-512 checks above.
+        unsafe { matmul_nt_rows_avx512(data, rows, cols, x, out, add) };
         return;
     }
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: guarded by the runtime AVX2 check above.
-        unsafe { matmul_nt_rows_avx2(data, rows, cols, x, out) };
+        unsafe { matmul_nt_rows_avx2(data, rows, cols, x, out, add) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        unsafe { matmul_nt_rows_neon(data, rows, cols, x, out, add) };
         return;
     }
     const ROW_BLOCK: usize = 64;
@@ -173,7 +244,8 @@ fn matmul_nt_rows(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [
         let panel = &data[r0 * cols..r1 * cols];
         for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
             for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
-                *slot = dot_scalar(row, xi);
+                let d = dot_scalar(row, xi);
+                *slot = if add { *slot + d } else { d };
             }
         }
         r0 = r1;
@@ -189,7 +261,7 @@ fn matmul_nt_rows(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [
 /// is documented as matching [`Matrix::matvec`] only up to rounding;
 /// training and inference both project inputs through this same path,
 /// so they still agree bitwise with each other.
-fn matmul_nt_narrow(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+fn matmul_nt_narrow(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32], add: bool) {
     let mut wt = vec![0.0f32; cols * rows];
     for (r, row) in data.chunks_exact(cols).enumerate() {
         for (c, &v) in row.iter().enumerate() {
@@ -199,10 +271,13 @@ fn matmul_nt_narrow(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: guarded by the runtime AVX2 check above.
-        unsafe { matmul_nt_narrow_avx2(&wt, rows, cols, x, out) };
+        unsafe { matmul_nt_narrow_avx2(&wt, rows, cols, x, out, add) };
         return;
     }
     for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+        if !add {
+            oi.iter_mut().for_each(|v| *v = 0.0);
+        }
         for (c, &xc) in xi.iter().enumerate() {
             let col = &wt[c * rows..(c + 1) * rows];
             for (o, &w) in oi.iter_mut().zip(col) {
@@ -214,11 +289,19 @@ fn matmul_nt_narrow(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut
 
 /// AVX2 instantiation of [`matmul_nt_narrow`]'s accumulation, taking
 /// the already-transposed panel. Per output element the operation
-/// sequence (sequential multiply-adds over columns, starting from zero)
-/// matches the portable loop exactly, so results are bitwise identical.
+/// sequence (sequential multiply-adds over columns, starting from zero
+/// or from the existing value when `add`) matches the portable loop
+/// exactly, so results are bitwise identical.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn matmul_nt_narrow_avx2(wt: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+unsafe fn matmul_nt_narrow_avx2(
+    wt: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
     use std::arch::x86_64::{
         _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
         _mm256_storeu_ps,
@@ -227,7 +310,12 @@ unsafe fn matmul_nt_narrow_avx2(wt: &[f32], rows: usize, cols: usize, x: &[f32],
     for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
         let mut r = 0;
         while r < blocked {
-            let mut acc = _mm256_setzero_ps();
+            let mut acc = if add {
+                // SAFETY: `r + 8 <= blocked <= rows == oi.len()`.
+                unsafe { _mm256_loadu_ps(oi.as_ptr().add(r)) }
+            } else {
+                _mm256_setzero_ps()
+            };
             for (c, &xc) in xi.iter().enumerate() {
                 // SAFETY: `c * rows + r + 8 <= cols * rows` because
                 // `r + 8 <= blocked <= rows` and `c < cols`.
@@ -239,7 +327,7 @@ unsafe fn matmul_nt_narrow_avx2(wt: &[f32], rows: usize, cols: usize, x: &[f32],
             r += 8;
         }
         for (r, slot) in oi.iter_mut().enumerate().skip(blocked) {
-            let mut s = 0.0f32;
+            let mut s = if add { *slot } else { 0.0f32 };
             for (c, &xc) in xi.iter().enumerate() {
                 s += wt[c * rows + r] * xc;
             }
@@ -248,10 +336,734 @@ unsafe fn matmul_nt_narrow_avx2(wt: &[f32], rows: usize, cols: usize, x: &[f32],
     }
 }
 
-/// AVX2 instantiation of [`matmul_nt_rows`]'s loop.
+/// AVX2 instantiation of [`matmul_nt_rows`]'s loop. Full groups of
+/// eight weight rows go through [`dot8_avx2`], which shares the input
+/// chunk loads across the group and replaces eight store-and-scalar-add
+/// horizontal reductions with one register transpose; leftover rows
+/// fall back to per-row [`dot_avx2`]. Both produce bitwise-identical
+/// elements, so the split is invisible to callers.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn matmul_nt_rows_avx2(data: &[f32], rows: usize, cols: usize, x: &[f32], out: &mut [f32]) {
+unsafe fn matmul_nt_rows_avx2(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
+    const ROW_BLOCK: usize = 64;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + ROW_BLOCK).min(rows);
+        let panel = &data[r0 * cols..r1 * cols];
+        let grouped = (r1 - r0) / 8 * 8;
+        for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+            let oi = &mut oi[r0..r1];
+            let mut g = 0;
+            while g < grouped {
+                // SAFETY: the caller established AVX2 support;
+                // `panel[g * cols..]` holds at least eight rows because
+                // `g + 8 <= grouped <= r1 - r0`.
+                unsafe { dot8_avx2(&panel[g * cols..], cols, xi, &mut oi[g..g + 8], add) };
+                g += 8;
+            }
+            for (slot, row) in oi[grouped..]
+                .iter_mut()
+                .zip(panel[grouped * cols..].chunks_exact(cols))
+            {
+                // SAFETY: the caller established AVX2 support.
+                let d = unsafe { dot_avx2(row, xi) };
+                *slot = if add { *slot + d } else { d };
+            }
+        }
+        r0 = r1;
+    }
+}
+
+/// Eight consecutive weight rows against one input vector, with
+/// [`dot`]'s lane semantics per row. Rows are processed in pairs so the
+/// input chunk registers are loaded once per pair, each row's four
+/// accumulators are folded into one register `m_j` exactly as in
+/// [`dot_avx2`], and the eight `m` registers are transposed so lane `k`
+/// of every row lands in register `t_k`. The lane-wise vector folds
+/// `((t0+t1)+(t2+t3))+((t4+t5)+(t6+t7))` then perform, per lane, the
+/// same scalar addition tree `dot_avx2` performs after its store — so
+/// every output element is bitwise identical to a per-row `dot_avx2`
+/// call, while the horizontal reduction costs ~4 shuffle/add ops per
+/// row instead of a 32-byte store feeding eight dependent scalar adds.
+/// This is where the batched engine's GEMM advantage over per-sequence
+/// mat-vecs comes from: the reduction overhead amortizes over the row
+/// group only when enough independent dot products are in flight.
+///
+/// `rows8` must hold at least `8 * cols` values and `out` exactly 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot8_avx2(rows8: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    use std::arch::x86_64::{_mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps};
+    let body = cols / 32 * 32;
+    let xp = x.as_ptr();
+    let mut m = [_mm256_setzero_ps(); 8];
+    for j in (0..8).step_by(2) {
+        let ra = rows8[j * cols..].as_ptr();
+        let rb = rows8[(j + 1) * cols..].as_ptr();
+        let mut acc_a = [_mm256_setzero_ps(); 4];
+        let mut acc_b = [_mm256_setzero_ps(); 4];
+        let mut c = 0;
+        while c < body {
+            for k in 0..4 {
+                // SAFETY: `c + 8k + 8 <= body <= cols`, so the loads
+                // stay inside row `j`, row `j + 1` and `x`.
+                let vx = unsafe { _mm256_loadu_ps(xp.add(c + 8 * k)) };
+                let va = unsafe { _mm256_loadu_ps(ra.add(c + 8 * k)) };
+                let vb = unsafe { _mm256_loadu_ps(rb.add(c + 8 * k)) };
+                acc_a[k] = _mm256_add_ps(acc_a[k], _mm256_mul_ps(va, vx));
+                acc_b[k] = _mm256_add_ps(acc_b[k], _mm256_mul_ps(vb, vx));
+            }
+            c += 32;
+        }
+        m[j] = _mm256_add_ps(
+            _mm256_add_ps(acc_a[0], acc_a[1]),
+            _mm256_add_ps(acc_a[2], acc_a[3]),
+        );
+        m[j + 1] = _mm256_add_ps(
+            _mm256_add_ps(acc_b[0], acc_b[1]),
+            _mm256_add_ps(acc_b[2], acc_b[3]),
+        );
+    }
+    // SAFETY: same AVX2 context and the same row-group invariants.
+    unsafe { fold8_store_avx2(m, rows8, cols, body, x, out, add) };
+}
+
+/// Shared epilogue of the eight-row kernels: transposes the eight
+/// folded accumulator registers, performs the per-lane reduction tree,
+/// adds each row's sub-32 tail and writes the results. `m[j]` must hold
+/// row `j`'s four accumulators folded as in [`dot_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn fold8_store_avx2(
+    m: [std::arch::x86_64::__m256; 8],
+    rows8: &[f32],
+    cols: usize,
+    body: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
+    use std::arch::x86_64::_mm256_storeu_ps;
+    // SAFETY: same AVX2 context.
+    let s = unsafe { transpose8_sum_avx2(m) };
+    let mut sums = [0.0f32; 8];
+    // SAFETY: `sums` is a 32-byte buffer; unaligned store is allowed.
+    unsafe { _mm256_storeu_ps(sums.as_mut_ptr(), s) };
+    let xt = &x[body..cols];
+    for (j, (slot, &sj)) in out.iter_mut().zip(&sums).enumerate() {
+        let d = sj + dot_tail(&rows8[j * cols + body..(j + 1) * cols], xt);
+        *slot = if add { *slot + d } else { d };
+    }
+}
+
+/// Transposes eight folded accumulator registers (`t_k[j] = m_j[k]`
+/// after the transpose) and performs the per-lane reduction tree
+/// `((t0+t1)+(t2+t3))+((t4+t5)+(t6+t7))`, so lane `j` of the result is
+/// exactly the scalar fold `((m_j[0]+m_j[1])+(m_j[2]+m_j[3]))+
+/// ((m_j[4]+m_j[5])+(m_j[6]+m_j[7]))` — vector adds are lane-wise, so
+/// the addition order per lane matches the scalar tree bitwise.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose8_sum_avx2(m: [std::arch::x86_64::__m256; 8]) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_permute2f128_ps, _mm256_shuffle_ps, _mm256_unpackhi_ps,
+        _mm256_unpacklo_ps,
+    };
+    let lo01 = _mm256_unpacklo_ps(m[0], m[1]);
+    let hi01 = _mm256_unpackhi_ps(m[0], m[1]);
+    let lo23 = _mm256_unpacklo_ps(m[2], m[3]);
+    let hi23 = _mm256_unpackhi_ps(m[2], m[3]);
+    let lo45 = _mm256_unpacklo_ps(m[4], m[5]);
+    let hi45 = _mm256_unpackhi_ps(m[4], m[5]);
+    let lo67 = _mm256_unpacklo_ps(m[6], m[7]);
+    let hi67 = _mm256_unpackhi_ps(m[6], m[7]);
+    let a0 = _mm256_shuffle_ps(lo01, lo23, 0x44);
+    let a1 = _mm256_shuffle_ps(lo01, lo23, 0xEE);
+    let a2 = _mm256_shuffle_ps(hi01, hi23, 0x44);
+    let a3 = _mm256_shuffle_ps(hi01, hi23, 0xEE);
+    let b0 = _mm256_shuffle_ps(lo45, lo67, 0x44);
+    let b1 = _mm256_shuffle_ps(lo45, lo67, 0xEE);
+    let b2 = _mm256_shuffle_ps(hi45, hi67, 0x44);
+    let b3 = _mm256_shuffle_ps(hi45, hi67, 0xEE);
+    let t0 = _mm256_permute2f128_ps(a0, b0, 0x20);
+    let t1 = _mm256_permute2f128_ps(a1, b1, 0x20);
+    let t2 = _mm256_permute2f128_ps(a2, b2, 0x20);
+    let t3 = _mm256_permute2f128_ps(a3, b3, 0x20);
+    let t4 = _mm256_permute2f128_ps(a0, b0, 0x31);
+    let t5 = _mm256_permute2f128_ps(a1, b1, 0x31);
+    let t6 = _mm256_permute2f128_ps(a2, b2, 0x31);
+    let t7 = _mm256_permute2f128_ps(a3, b3, 0x31);
+    _mm256_add_ps(
+        _mm256_add_ps(_mm256_add_ps(t0, t1), _mm256_add_ps(t2, t3)),
+        _mm256_add_ps(_mm256_add_ps(t4, t5), _mm256_add_ps(t6, t7)),
+    )
+}
+
+/// AVX-512 variant of [`dot8_avx2`]: one 512-bit register carries two of
+/// a row's four 8-lane accumulators side by side (`acc[2r]` holds scalar
+/// accumulator lanes `0..16`, i.e. `acc0 | acc1`, and `acc[2r + 1]`
+/// holds `acc2 | acc3`), because a 32-element chunk is exactly two
+/// 512-bit loads whose lanes line up with consecutive accumulator
+/// groups. Sixteen accumulator registers cover the whole eight-row
+/// group, so the two input chunk loads are shared by every row, and
+/// each 32-element chunk costs two multiplies and two adds per row
+/// instead of four of each. Splitting each accumulator register into
+/// halves and adding them lane-wise reproduces `dot_avx2`'s folds
+/// `acc0 + acc1` and `acc2 + acc3` exactly, so the result is bitwise
+/// identical to the AVX2 and scalar paths.
+///
+/// `rows8` must hold at least `8 * cols` values and `out` exactly 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn dot8_avx512(rows8: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_setzero_ps, _mm512_add_ps, _mm512_castps512_ps256,
+        _mm512_extractf32x8_ps, _mm512_loadu_ps, _mm512_mul_ps, _mm512_setzero_ps,
+    };
+    let body = cols / 32 * 32;
+    let xp = x.as_ptr();
+    let rp = rows8.as_ptr();
+    let mut acc = [_mm512_setzero_ps(); 16];
+    let mut c = 0;
+    while c < body {
+        // SAFETY: `c + 32 <= body <= cols`, so both 16-lane loads stay
+        // inside `x`, and `r * cols + c + 32 <= 8 * cols` keeps the row
+        // loads inside `rows8` for every `r < 8`.
+        let xa = unsafe { _mm512_loadu_ps(xp.add(c)) };
+        let xb = unsafe { _mm512_loadu_ps(xp.add(c + 16)) };
+        for r in 0..8 {
+            let row = unsafe { rp.add(r * cols + c) };
+            let wa = unsafe { _mm512_loadu_ps(row) };
+            let wb = unsafe { _mm512_loadu_ps(row.add(16)) };
+            acc[2 * r] = _mm512_add_ps(acc[2 * r], _mm512_mul_ps(wa, xa));
+            acc[2 * r + 1] = _mm512_add_ps(acc[2 * r + 1], _mm512_mul_ps(wb, xb));
+        }
+        c += 32;
+    }
+    let mut m = [_mm256_setzero_ps(); 8];
+    for (r, mr) in m.iter_mut().enumerate() {
+        let z0 = acc[2 * r];
+        let z1 = acc[2 * r + 1];
+        let a01 = _mm256_add_ps(_mm512_castps512_ps256(z0), _mm512_extractf32x8_ps::<1>(z0));
+        let a23 = _mm256_add_ps(_mm512_castps512_ps256(z1), _mm512_extractf32x8_ps::<1>(z1));
+        *mr = _mm256_add_ps(a01, a23);
+    }
+    // SAFETY: avx512f implies avx2; same row-group invariants.
+    unsafe { fold8_store_avx2(m, rows8, cols, body, x, out, add) };
+}
+
+/// AVX-512 instantiation of [`matmul_nt_rows`]'s loop: full groups of
+/// eight weight rows go through [`dot8_avx512`], leftovers through
+/// per-row [`dot_avx2`] (bitwise identical either way).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn matmul_nt_rows_avx512(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
+    const ROW_BLOCK: usize = 64;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + ROW_BLOCK).min(rows);
+        let panel = &data[r0 * cols..r1 * cols];
+        let grouped = (r1 - r0) / 8 * 8;
+        for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+            let oi = &mut oi[r0..r1];
+            let mut g = 0;
+            while g < grouped {
+                // SAFETY: the caller established AVX-512 support;
+                // `panel[g * cols..]` holds at least eight rows because
+                // `g + 8 <= grouped <= r1 - r0`.
+                unsafe { dot8_avx512(&panel[g * cols..], cols, xi, &mut oi[g..g + 8], add) };
+                g += 8;
+            }
+            for (slot, row) in oi[grouped..]
+                .iter_mut()
+                .zip(panel[grouped * cols..].chunks_exact(cols))
+            {
+                // SAFETY: avx512f implies avx2.
+                let d = unsafe { dot_avx2(row, xi) };
+                *slot = if add { *slot + d } else { d };
+            }
+        }
+        r0 = r1;
+    }
+}
+
+/// Sixteen-lane *fused* dot product — the inner kernel of
+/// [`Matrix::matmul_nt_fused_to`], the batched engines' recurrent GEMM.
+/// Lane `k` accumulates elements `16i + k` with a fused multiply-add
+/// (one rounding per step instead of two), the sixteen lanes fold as
+/// `m[k] = acc[k] + acc[8 + k]` followed by the same pairwise tree the
+/// unfused kernel uses, and the sub-16 tail is folded in sequentially
+/// with scalar fused multiply-adds. Fusing halves the floating-point
+/// instruction count, which is exactly the resource a batched GEMM is
+/// bound by once its loads amortize over the batch; the price is that
+/// results differ from the unfused [`dot`] semantics by normal rounding
+/// (~1e-7 relative), so the batched engine matches the per-sequence
+/// engine within tolerance instead of bitwise.
+///
+/// As with [`dot`], the *lane assignment* defines the summation order:
+/// this portable implementation (`f32::mul_add` is a correctly rounded
+/// IEEE fma, identical to the hardware instruction) and the AVX2-FMA /
+/// AVX-512 kernels below are bitwise identical to each other, and the
+/// result is independent of batch size and row position.
+#[inline]
+fn dot_fused_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 16];
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..16 {
+            acc[k] = xa[k].mul_add(xb[k], acc[k]);
+        }
+    }
+    let mut m = [0.0f32; 8];
+    for k in 0..8 {
+        m[k] = acc[k] + acc[8 + k];
+    }
+    let mut s = ((m[0] + m[1]) + (m[2] + m[3])) + ((m[4] + m[5]) + (m[6] + m[7]));
+    for (&xa, &xb) in ca.remainder().iter().zip(cb.remainder()) {
+        s = xa.mul_add(xb, s);
+    }
+    s
+}
+
+/// Folds the eight per-lane sums of a [`dot_fused_scalar`]-semantics
+/// accumulator (`m[k] = acc[k] + acc[8+k]` already applied) with the
+/// shared pairwise tree, then adds the sequential fused tail.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn fused_tail(mut s: f32, row_tail: &[f32], x_tail: &[f32]) -> f32 {
+    for (&xa, &xb) in row_tail.iter().zip(x_tail) {
+        s = xa.mul_add(xb, s);
+    }
+    s
+}
+
+/// AVX-512 single-row instantiation of [`dot_fused_scalar`]: one zmm
+/// register is the whole sixteen-lane accumulator, so a 64-column dot
+/// is four fused multiply-adds plus one half-split add for the fold.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn dot1_fused_avx512(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_storeu_ps, _mm512_castps512_ps256, _mm512_extractf32x8_ps,
+        _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_setzero_ps,
+    };
+    let cols = a.len().min(b.len());
+    let body = cols / 16 * 16;
+    let mut acc = _mm512_setzero_ps();
+    let mut c = 0;
+    while c < body {
+        // SAFETY: `c + 16 <= body <= a.len(), b.len()`.
+        let va = unsafe { _mm512_loadu_ps(a.as_ptr().add(c)) };
+        let vb = unsafe { _mm512_loadu_ps(b.as_ptr().add(c)) };
+        acc = _mm512_fmadd_ps(va, vb, acc);
+        c += 16;
+    }
+    let m = _mm256_add_ps(
+        _mm512_castps512_ps256(acc),
+        _mm512_extractf32x8_ps::<1>(acc),
+    );
+    let mut lanes = [0.0f32; 8];
+    // SAFETY: `lanes` is a 32-byte buffer; unaligned store is allowed.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), m) };
+    let s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    fused_tail(s, &a[body..cols], &b[body..cols])
+}
+
+/// AVX-512 eight-row instantiation of [`dot_fused_scalar`]: one zmm
+/// accumulator per row covers the whole group in eight registers, so
+/// every input chunk is loaded once and shared by all eight rows, each
+/// 16-element chunk costs one fused multiply-add per row, and the
+/// per-row half-split folds feed the shared transpose reduction.
+/// Bitwise identical to eight [`dot1_fused_avx512`] calls.
+///
+/// `rows8` must hold at least `8 * cols` values and `out` exactly 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn dot8_fused_avx512(rows8: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_setzero_ps, _mm256_storeu_ps, _mm512_castps512_ps256,
+        _mm512_extractf32x8_ps, _mm512_fmadd_ps, _mm512_loadu_ps, _mm512_setzero_ps,
+    };
+    let body = cols / 16 * 16;
+    let xp = x.as_ptr();
+    let rp = rows8.as_ptr();
+    let mut acc = [_mm512_setzero_ps(); 8];
+    let mut c = 0;
+    while c < body {
+        // SAFETY: `c + 16 <= body <= cols` keeps the `x` load in
+        // bounds, and `r * cols + c + 16 <= 8 * cols` keeps every row
+        // load inside `rows8`.
+        let vx = unsafe { _mm512_loadu_ps(xp.add(c)) };
+        for (r, slot) in acc.iter_mut().enumerate() {
+            let vw = unsafe { _mm512_loadu_ps(rp.add(r * cols + c)) };
+            *slot = _mm512_fmadd_ps(vw, vx, *slot);
+        }
+        c += 16;
+    }
+    let mut m = [_mm256_setzero_ps(); 8];
+    for (mr, &z) in m.iter_mut().zip(&acc) {
+        *mr = _mm256_add_ps(_mm512_castps512_ps256(z), _mm512_extractf32x8_ps::<1>(z));
+    }
+    // SAFETY: avx512f implies avx2.
+    let s = unsafe { transpose8_sum_avx2(m) };
+    let mut sums = [0.0f32; 8];
+    // SAFETY: `sums` is a 32-byte buffer; unaligned store is allowed.
+    unsafe { _mm256_storeu_ps(sums.as_mut_ptr(), s) };
+    let xt = &x[body..cols];
+    for (j, (slot, &sj)) in out.iter_mut().zip(&sums).enumerate() {
+        let d = fused_tail(sj, &rows8[j * cols + body..(j + 1) * cols], xt);
+        *slot = if add { *slot + d } else { d };
+    }
+}
+
+/// AVX-512 4-row × 4-vector tile of [`dot_fused_scalar`] — the
+/// register-blocked heart of the batched GEMM. Each of the sixteen
+/// accumulators is one zmm register holding one `(row, x_i)` cell, so
+/// every 16-element chunk costs four weight loads plus four input
+/// loads for sixteen fused multiply-adds: a 2:1 FMA-to-load ratio that
+/// keeps the tile arithmetic-bound where the one-vector kernels above
+/// are load-bound (their 8 weight loads feed only 8 FMAs). On cores
+/// that double-pump 512-bit ops this is the difference between ~8 and
+/// ~16 multiply-adds per cycle.
+///
+/// Each cell's reduction order is exactly [`dot_fused_scalar`]'s: the
+/// zmm accumulator *is* the sixteen lanes, the 256-bit half-split add
+/// is `m[k] = acc[k] + acc[8 + k]`, and the horizontal-add fold below
+/// computes `((m0 + m1) + (m2 + m3)) + ((m4 + m5) + (m6 + m7))`
+/// per cell — `hadd(hadd(a, b), hadd(c, d))` pairs lanes in precisely
+/// that tree — before the sequential fused tail. Cell values therefore
+/// stay bitwise independent of tile position and batch size.
+///
+/// `rows4` must hold at least `4 * cols` values, `x4` exactly
+/// `4 * cols` (four batch vectors, row-major); cell `(r, i)` lands in
+/// `out[i * stride + r]`, so `out` must reach `3 * stride + 4`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn dot4x4_fused_avx512(
+    rows4: &[f32],
+    cols: usize,
+    x4: &[f32],
+    out: &mut [f32],
+    stride: usize,
+    add: bool,
+) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_hadd_ps,
+        _mm256_setzero_ps, _mm512_castps512_ps256, _mm512_extractf32x8_ps, _mm512_fmadd_ps,
+        _mm512_loadu_ps, _mm512_setzero_ps, _mm_add_ps, _mm_loadu_ps, _mm_storeu_ps,
+    };
+    let body = cols / 16 * 16;
+    debug_assert!(out.len() > 3 * stride + 3);
+    let rp = rows4.as_ptr();
+    let xp = x4.as_ptr();
+    let mut acc = [[_mm512_setzero_ps(); 4]; 4];
+    let mut c = 0;
+    while c < body {
+        // SAFETY: `c + 16 <= body <= cols` keeps every load inside its
+        // row of `rows4` / `x4`.
+        let vx = [
+            unsafe { _mm512_loadu_ps(xp.add(c)) },
+            unsafe { _mm512_loadu_ps(xp.add(cols + c)) },
+            unsafe { _mm512_loadu_ps(xp.add(2 * cols + c)) },
+            unsafe { _mm512_loadu_ps(xp.add(3 * cols + c)) },
+        ];
+        for (r, row_acc) in acc.iter_mut().enumerate() {
+            let vw = unsafe { _mm512_loadu_ps(rp.add(r * cols + c)) };
+            for (cell, &x) in row_acc.iter_mut().zip(&vx) {
+                *cell = _mm512_fmadd_ps(vw, x, *cell);
+            }
+        }
+        c += 16;
+    }
+    for i in 0..4 {
+        let mut m = [_mm256_setzero_ps(); 4];
+        for (mr, row_acc) in m.iter_mut().zip(&acc) {
+            let z = row_acc[i];
+            *mr = _mm256_add_ps(_mm512_castps512_ps256(z), _mm512_extractf32x8_ps::<1>(z));
+        }
+        // hadd(hadd(m0, m1), hadd(m2, m3)) leaves row r's pairwise
+        // lane sums ((l0 + l1) + (l2 + l3)) in low-half lane r and
+        // ((l4 + l5) + (l6 + l7)) in high-half lane r; the final
+        // 128-bit add completes the shared reduction tree per row.
+        let t01 = _mm256_hadd_ps(m[0], m[1]);
+        let t23 = _mm256_hadd_ps(m[2], m[3]);
+        let t = _mm256_hadd_ps(t01, t23);
+        let mut s4 = _mm_add_ps(_mm256_castps256_ps128(t), _mm256_extractf128_ps::<1>(t));
+        if body == cols {
+            // Tail-free columns (the common 16-multiple case): the four
+            // row sums for vector `i` are exactly the four contiguous
+            // output cells `out[i * stride ..][..4]`, so finish with one
+            // 128-bit read-modify-write instead of four scalar slots.
+            // SAFETY: the documented contract guarantees
+            // `out.len() > 3 * stride + 3`.
+            let o = unsafe { out.as_mut_ptr().add(i * stride) };
+            if add {
+                s4 = _mm_add_ps(unsafe { _mm_loadu_ps(o) }, s4);
+            }
+            unsafe { _mm_storeu_ps(o, s4) };
+        } else {
+            let mut sums = [0.0f32; 4];
+            // SAFETY: `sums` is a 16-byte buffer; unaligned store is
+            // allowed.
+            unsafe { _mm_storeu_ps(sums.as_mut_ptr(), s4) };
+            let xt = &x4[i * cols + body..(i + 1) * cols];
+            for (r, &sr) in sums.iter().enumerate() {
+                let d = fused_tail(sr, &rows4[r * cols + body..(r + 1) * cols], xt);
+                let slot = &mut out[i * stride + r];
+                *slot = if add { *slot + d } else { d };
+            }
+        }
+    }
+}
+
+/// AVX2+FMA single-row instantiation of [`dot_fused_scalar`]: two ymm
+/// registers carry accumulator lanes `0..8` and `8..16`, and the fold
+/// `lo + hi` reproduces `m[k] = acc[k] + acc[8 + k]` exactly.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot1_fused_fma(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    let cols = a.len().min(b.len());
+    let body = cols / 16 * 16;
+    let mut lo = _mm256_setzero_ps();
+    let mut hi = _mm256_setzero_ps();
+    let mut c = 0;
+    while c < body {
+        // SAFETY: `c + 16 <= body <= a.len(), b.len()`.
+        let va0 = unsafe { _mm256_loadu_ps(a.as_ptr().add(c)) };
+        let vb0 = unsafe { _mm256_loadu_ps(b.as_ptr().add(c)) };
+        let va1 = unsafe { _mm256_loadu_ps(a.as_ptr().add(c + 8)) };
+        let vb1 = unsafe { _mm256_loadu_ps(b.as_ptr().add(c + 8)) };
+        lo = _mm256_fmadd_ps(va0, vb0, lo);
+        hi = _mm256_fmadd_ps(va1, vb1, hi);
+        c += 16;
+    }
+    let m = _mm256_add_ps(lo, hi);
+    let mut lanes = [0.0f32; 8];
+    // SAFETY: `lanes` is a 32-byte buffer; unaligned store is allowed.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), m) };
+    let s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    fused_tail(s, &a[body..cols], &b[body..cols])
+}
+
+/// AVX2+FMA eight-row instantiation of [`dot_fused_scalar`]: rows in
+/// pairs share the input chunk loads (sixteen ymm accumulators for the
+/// group would not fit alongside them), folds feed the shared transpose
+/// reduction. Bitwise identical to eight [`dot1_fused_fma`] calls.
+///
+/// `rows8` must hold at least `8 * cols` values and `out` exactly 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot8_fused_fma(rows8: &[f32], cols: usize, x: &[f32], out: &mut [f32], add: bool) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    let body = cols / 16 * 16;
+    let xp = x.as_ptr();
+    let mut m = [_mm256_setzero_ps(); 8];
+    for j in (0..8).step_by(2) {
+        let ra = rows8[j * cols..].as_ptr();
+        let rb = rows8[(j + 1) * cols..].as_ptr();
+        let (mut a_lo, mut a_hi) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+        let (mut b_lo, mut b_hi) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+        let mut c = 0;
+        while c < body {
+            // SAFETY: `c + 16 <= body <= cols`, so the loads stay
+            // inside row `j`, row `j + 1` and `x`.
+            let vx0 = unsafe { _mm256_loadu_ps(xp.add(c)) };
+            let vx1 = unsafe { _mm256_loadu_ps(xp.add(c + 8)) };
+            let va0 = unsafe { _mm256_loadu_ps(ra.add(c)) };
+            let va1 = unsafe { _mm256_loadu_ps(ra.add(c + 8)) };
+            let vb0 = unsafe { _mm256_loadu_ps(rb.add(c)) };
+            let vb1 = unsafe { _mm256_loadu_ps(rb.add(c + 8)) };
+            a_lo = _mm256_fmadd_ps(va0, vx0, a_lo);
+            a_hi = _mm256_fmadd_ps(va1, vx1, a_hi);
+            b_lo = _mm256_fmadd_ps(vb0, vx0, b_lo);
+            b_hi = _mm256_fmadd_ps(vb1, vx1, b_hi);
+            c += 16;
+        }
+        m[j] = _mm256_add_ps(a_lo, a_hi);
+        m[j + 1] = _mm256_add_ps(b_lo, b_hi);
+    }
+    // SAFETY: same AVX2 context.
+    let s = unsafe { transpose8_sum_avx2(m) };
+    let mut sums = [0.0f32; 8];
+    // SAFETY: `sums` is a 32-byte buffer; unaligned store is allowed.
+    unsafe { _mm256_storeu_ps(sums.as_mut_ptr(), s) };
+    let xt = &x[body..cols];
+    for (j, (slot, &sj)) in out.iter_mut().zip(&sums).enumerate() {
+        let d = fused_tail(sj, &rows8[j * cols + body..(j + 1) * cols], xt);
+        *slot = if add { *slot + d } else { d };
+    }
+}
+
+/// Blocked loop of [`Matrix::matmul_nt_fused_to`], mirroring
+/// [`matmul_nt_rows`]'s panel structure with the fused kernels. Narrow
+/// inputs keep the column-streaming layout (its per-element overhead is
+/// already minimal and the fused kernels' 16-lane body never engages);
+/// on x86_64 full eight-row groups take the grouped kernels and
+/// leftovers the single-row ones, all bitwise identical per element.
+/// Other architectures use the portable [`dot_fused_scalar`] (on
+/// aarch64 `f32::mul_add` lowers to the native scalar `fmadd`).
+#[inline]
+fn matmul_nt_fused_rows(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
+    if cols < NARROW_COLS {
+        matmul_nt_narrow(data, rows, cols, x, out, add);
+        return;
+    }
+    const ROW_BLOCK: usize = 64;
+    #[cfg(target_arch = "x86_64")]
+    {
+        let avx512 = std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq");
+        let fma = std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma");
+        if avx512 || fma {
+            let n = x.len() / cols;
+            let mut r0 = 0;
+            while r0 < rows {
+                let r1 = (r0 + ROW_BLOCK).min(rows);
+                let panel = &data[r0 * cols..r1 * cols];
+                let pr = r1 - r0;
+                let mut i0 = 0;
+                if avx512 {
+                    // Register-blocked core: 4 batch vectors × 4 panel
+                    // rows per tile, leftovers below.
+                    while i0 + 4 <= n {
+                        let x4 = &x[i0 * cols..(i0 + 4) * cols];
+                        let tiled = pr / 4 * 4;
+                        let mut g = 0;
+                        while g < tiled {
+                            let out4 = &mut out[i0 * rows + r0 + g..];
+                            // SAFETY: feature support established
+                            // above; `panel[g * cols..]` holds at least
+                            // four rows and `out4` reaches the last
+                            // tile cell `3 * rows + 3`.
+                            unsafe {
+                                dot4x4_fused_avx512(&panel[g * cols..], cols, x4, out4, rows, add);
+                            }
+                            g += 4;
+                        }
+                        for r in tiled..pr {
+                            let row = &panel[r * cols..(r + 1) * cols];
+                            for i in 0..4 {
+                                // SAFETY: feature support established above.
+                                let d = unsafe {
+                                    dot1_fused_avx512(row, &x4[i * cols..(i + 1) * cols])
+                                };
+                                let slot = &mut out[(i0 + i) * rows + r0 + r];
+                                *slot = if add { *slot + d } else { d };
+                            }
+                        }
+                        i0 += 4;
+                    }
+                }
+                // Leftover batch vectors (all of them without AVX-512)
+                // go through the one-vector eight-row kernels.
+                let grouped = pr / 8 * 8;
+                for i in i0..n {
+                    let xi = &x[i * cols..(i + 1) * cols];
+                    let oi = &mut out[i * rows + r0..i * rows + r1];
+                    let mut g = 0;
+                    while g < grouped {
+                        // SAFETY: feature support established above;
+                        // `panel[g * cols..]` holds at least eight rows.
+                        unsafe {
+                            if avx512 {
+                                dot8_fused_avx512(
+                                    &panel[g * cols..],
+                                    cols,
+                                    xi,
+                                    &mut oi[g..g + 8],
+                                    add,
+                                );
+                            } else {
+                                dot8_fused_fma(
+                                    &panel[g * cols..],
+                                    cols,
+                                    xi,
+                                    &mut oi[g..g + 8],
+                                    add,
+                                );
+                            }
+                        }
+                        g += 8;
+                    }
+                    for (slot, row) in oi[grouped..]
+                        .iter_mut()
+                        .zip(panel[grouped * cols..].chunks_exact(cols))
+                    {
+                        // SAFETY: feature support established above.
+                        let d = unsafe {
+                            if avx512 {
+                                dot1_fused_avx512(row, xi)
+                            } else {
+                                dot1_fused_fma(row, xi)
+                            }
+                        };
+                        *slot = if add { *slot + d } else { d };
+                    }
+                }
+                r0 = r1;
+            }
+            return;
+        }
+    }
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + ROW_BLOCK).min(rows);
+        let panel = &data[r0 * cols..r1 * cols];
+        for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+            for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
+                let d = dot_fused_scalar(row, xi);
+                *slot = if add { *slot + d } else { d };
+            }
+        }
+        r0 = r1;
+    }
+}
+
+/// NEON instantiation of [`matmul_nt_rows`]'s loop.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn matmul_nt_rows_neon(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
     const ROW_BLOCK: usize = 64;
     let mut r0 = 0;
     while r0 < rows {
@@ -259,8 +1071,9 @@ unsafe fn matmul_nt_rows_avx2(data: &[f32], rows: usize, cols: usize, x: &[f32],
         let panel = &data[r0 * cols..r1 * cols];
         for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
             for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
-                // SAFETY: the caller established AVX2 support.
-                *slot = unsafe { dot_avx2(row, xi) };
+                // SAFETY: the caller established NEON support.
+                let d = unsafe { dot_neon(row, xi) };
+                *slot = if add { *slot + d } else { d };
             }
         }
         r0 = r1;
@@ -444,13 +1257,100 @@ impl Matrix {
     ///
     /// Panics if `x.len() != n * self.cols()`.
     pub fn matmul_nt_into(&self, x: &[f32], n: usize, out: &mut Vec<f32>) {
-        assert_eq!(x.len(), n * self.cols, "matmul_nt dimension mismatch");
         out.clear();
         out.resize(n * self.rows, 0.0);
+        self.matmul_nt_to(x, n, out, false);
+    }
+
+    /// [`Matrix::matmul_nt`] into an exact-size slice, with `add`
+    /// selecting accumulation (`out += X · selfᵀ`) versus overwrite.
+    ///
+    /// The accumulating form is the batched generalization of
+    /// [`Matrix::matvec_add_into`]: with 32 or more columns every output
+    /// element goes through the shared dot kernel followed by a single
+    /// `+` onto the existing value, so a batch of rows matches the
+    /// per-row accumulating products bitwise. This is the per-timestep
+    /// recurrent step `Z += H · Uᵀ` of the packed-batch engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == n * self.cols()` and
+    /// `out.len() == n * self.rows()`.
+    pub fn matmul_nt_to(&self, x: &[f32], n: usize, out: &mut [f32], add: bool) {
+        assert_eq!(x.len(), n * self.cols, "matmul_nt dimension mismatch");
+        assert_eq!(out.len(), n * self.rows, "matmul_nt output length mismatch");
         if self.cols == 0 || self.rows == 0 {
+            if !add {
+                out.iter_mut().for_each(|v| *v = 0.0);
+            }
             return;
         }
-        matmul_nt_rows(&self.data, self.rows, self.cols, x, out);
+        matmul_nt_rows(&self.data, self.rows, self.cols, x, out, add);
+    }
+
+    /// [`Matrix::matmul_nt_to`] with *fused* multiply-add semantics —
+    /// the throughput kernel behind the packed-batch engines' forward
+    /// GEMMs (recurrent `Z += H · Uᵀ`, cached input projections and the
+    /// flattened dense head).
+    ///
+    /// Each dot product follows [`dot_fused_scalar`]: sixteen
+    /// accumulator lanes updated with single-rounding fused
+    /// multiply-adds, halving the floating-point instruction count of
+    /// the unfused [`dot`] semantics. On hardware without FMA execution
+    /// units that halving is irrelevant, but wherever FMA exists it is
+    /// the difference between a batched GEMM that merely matches the
+    /// per-sequence engine's arithmetic throughput and one that beats
+    /// it. The cost is a deterministic but *different* rounding: the
+    /// portable scalar path (`f32::mul_add` — a correctly rounded IEEE
+    /// fma), AVX2+FMA and AVX-512 kernels all agree bitwise with each
+    /// other, and the result stays independent of batch size and row
+    /// position, but outputs differ from [`Matrix::matmul_nt_to`] by
+    /// ~1e-7 relative error. Gradient paths and the per-sequence
+    /// engines therefore stay on the unfused kernels, and batched
+    /// outputs match sequential ones within tolerance rather than
+    /// bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == n * self.cols()` and
+    /// `out.len() == n * self.rows()`.
+    pub fn matmul_nt_fused_to(&self, x: &[f32], n: usize, out: &mut [f32], add: bool) {
+        assert_eq!(x.len(), n * self.cols, "matmul_nt dimension mismatch");
+        assert_eq!(out.len(), n * self.rows, "matmul_nt output length mismatch");
+        if self.cols == 0 || self.rows == 0 {
+            if !add {
+                out.iter_mut().for_each(|v| *v = 0.0);
+            }
+            return;
+        }
+        matmul_nt_fused_rows(&self.data, self.rows, self.cols, x, out, add);
+    }
+
+    /// Batched transposed product `C = X · self`: `x` holds `n`
+    /// row-major rows of `self.rows()` values and row `i` of `out` is
+    /// `selfᵀ · x_i` — the batched form of
+    /// [`Matrix::matvec_transposed_into`] (each output row computed with
+    /// the same accumulation order, so rows match it bitwise). Batched
+    /// BPTT uses this to chain a whole timestep block's gate gradients
+    /// back through the recurrent weights in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == n * self.rows()` and
+    /// `out.len() == n * self.cols()`.
+    pub fn matmul_t_to(&self, x: &[f32], n: usize, out: &mut [f32]) {
+        assert_eq!(x.len(), n * self.rows, "matmul_t dimension mismatch");
+        assert_eq!(out.len(), n * self.cols, "matmul_t output length mismatch");
+        if self.rows == 0 {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        for (xi, oi) in x
+            .chunks_exact(self.rows)
+            .zip(out.chunks_exact_mut(self.cols.max(1)))
+        {
+            self.matvec_transposed_into(xi, oi);
+        }
     }
 
     /// Transposed matrix–vector product `selfᵀ * x` — used in
@@ -583,6 +1483,14 @@ pub struct GemmScratch {
     pub(crate) dz_u: Vec<f32>,
     /// Backward-pass state gradients, `4 * hidden`.
     pub(crate) dstate: Vec<f32>,
+    /// Batched hidden rows / hidden gradients, `B x hidden`.
+    pub(crate) bh: Vec<f32>,
+    /// Batched cell rows / cell gradients, `B x hidden`.
+    pub(crate) bc: Vec<f32>,
+    /// Batched gate pre-activations, `B x gate_rows`.
+    pub(crate) bz: Vec<f32>,
+    /// Batched temporaries (state pairs, GRU `U·h` rows), sized ad hoc.
+    pub(crate) bt: Vec<f32>,
 }
 
 impl GemmScratch {
@@ -635,6 +1543,75 @@ mod tests {
             let lanes = dot_scalar(&a, &b);
             let dispatched = dot(&a, &b);
             assert_eq!(dispatched.to_bits(), lanes.to_bits(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn fused_matmul_nt_is_bitwise_identical_to_scalar_fused_lanes() {
+        // Wide shapes take the AVX2-FMA / AVX-512 kernels where
+        // available; every element must still reproduce the portable
+        // sixteen-lane `mul_add` reference exactly. Column counts
+        // straddle the 16-lane body boundary and the fused tail, row
+        // counts straddle the eight-row group and the 64-row panel.
+        let mut rng = StdRng::seed_from_u64(11);
+        for (rows, cols, n) in [(8, 32, 1), (13, 33, 3), (70, 45, 4), (256, 64, 8)] {
+            let m = Matrix::xavier(rows, cols, &mut rng);
+            let x: Vec<f32> = (0..n * cols).map(|i| (i as f32 * 0.61).sin()).collect();
+            for add in [false, true] {
+                let mut out: Vec<f32> = (0..n * rows).map(|i| i as f32 * 0.01).collect();
+                let base = out.clone();
+                m.matmul_nt_fused_to(&x, n, &mut out, add);
+                for t in 0..n {
+                    for r in 0..rows {
+                        let d = dot_fused_scalar(m.row(r), &x[t * cols..(t + 1) * cols]);
+                        let want = if add { base[t * rows + r] + d } else { d };
+                        assert_eq!(
+                            out[t * rows + r].to_bits(),
+                            want.to_bits(),
+                            "rows {rows} cols {cols} n {n} add {add} t {t} r {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matmul_nt_is_batch_size_invariant() {
+        // Row `t` of a batched product must be bitwise the same as the
+        // one-row product of `x_t` alone — the property that makes
+        // batched inference scores independent of batch composition.
+        let mut rng = StdRng::seed_from_u64(12);
+        let (rows, cols, n) = (33, 64, 6);
+        let m = Matrix::xavier(rows, cols, &mut rng);
+        let x: Vec<f32> = (0..n * cols).map(|i| (i as f32 * 0.23).cos()).collect();
+        let mut batched = vec![0.0f32; n * rows];
+        m.matmul_nt_fused_to(&x, n, &mut batched, false);
+        for t in 0..n {
+            let mut single = vec![0.0f32; rows];
+            m.matmul_nt_fused_to(&x[t * cols..(t + 1) * cols], 1, &mut single, false);
+            for r in 0..rows {
+                assert_eq!(
+                    batched[t * rows + r].to_bits(),
+                    single[r].to_bits(),
+                    "t {t} r {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matmul_nt_matches_unfused_up_to_rounding() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (rows, cols, n) = (70, 45, 5);
+        let m = Matrix::xavier(rows, cols, &mut rng);
+        let x: Vec<f32> = (0..n * cols).map(|i| (i as f32 * 0.47).sin()).collect();
+        let mut fused = vec![0.0f32; n * rows];
+        let mut plain = vec![0.0f32; n * rows];
+        m.matmul_nt_fused_to(&x, n, &mut fused, false);
+        m.matmul_nt_to(&x, n, &mut plain, false);
+        for (i, (a, b)) in fused.iter().zip(&plain).enumerate() {
+            assert!((a - b).abs() < 1e-4 * b.abs().max(1.0), "{i}: {a} vs {b}");
         }
     }
 
@@ -804,5 +1781,52 @@ mod tests {
         assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
         pack_rows(&xs, 2, true, &mut flat);
         assert_eq!(flat, vec![3.0, 4.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_nt_to_accumulate_matches_matvec_add_into_bitwise() {
+        // The batched recurrent step must be a drop-in for the
+        // per-sequence accumulating mat-vec: with >= 32 columns both
+        // sides go dot-kernel + single add, so rows agree bitwise.
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = Matrix::xavier(70, 45, &mut rng);
+        let n = 5;
+        let x: Vec<f32> = (0..n * 45).map(|i| (i as f32 * 0.29).sin()).collect();
+        let mut batched: Vec<f32> = (0..n * 70).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut looped = batched.clone();
+        m.matmul_nt_to(&x, n, &mut batched, true);
+        for t in 0..n {
+            m.matvec_add_into(&x[t * 45..(t + 1) * 45], &mut looped[t * 70..(t + 1) * 70]);
+        }
+        for (a, b) in batched.iter().zip(&looped) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_nt_to_overwrite_matches_matmul_nt() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = Matrix::xavier(17, 33, &mut rng);
+        let n = 4;
+        let x: Vec<f32> = (0..n * 33).map(|i| (i as f32 * 0.41).sin()).collect();
+        let mut out = vec![f32::NAN; n * 17];
+        m.matmul_nt_to(&x, n, &mut out, false);
+        assert_eq!(out, m.matmul_nt(&x, n));
+    }
+
+    #[test]
+    fn matmul_t_to_matches_per_row_transposed_matvec_bitwise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = Matrix::xavier(40, 9, &mut rng);
+        let n = 6;
+        let x: Vec<f32> = (0..n * 40).map(|i| (i as f32 * 0.33).cos()).collect();
+        let mut out = vec![f32::NAN; n * 9];
+        m.matmul_t_to(&x, n, &mut out);
+        for t in 0..n {
+            let single = m.matvec_transposed(&x[t * 40..(t + 1) * 40]);
+            for (a, b) in out[t * 9..(t + 1) * 9].iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t {t}");
+            }
+        }
     }
 }

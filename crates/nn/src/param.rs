@@ -1,6 +1,18 @@
 //! Trainable parameter tensors with ADAM state.
 
 use crate::matrix::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global ticket counter backing [`Param::version`]. Every value update
+/// draws a fresh ticket, so two parameters only ever share a version
+/// when one is an unmodified clone of the other — in which case their
+/// values are identical and any cache keyed by the version is still
+/// sound to reuse.
+static VERSION_TICKETS: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    VERSION_TICKETS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A trainable tensor: value, accumulated gradient and the first/second
 /// moment estimates used by the ADAM optimizer (the optimizer the paper
@@ -13,6 +25,7 @@ pub struct Param {
     pub grad: Matrix,
     m: Matrix,
     v: Matrix,
+    version: u64,
 }
 
 /// ADAM hyper-parameters.
@@ -52,12 +65,21 @@ impl Param {
             grad: Matrix::zeros(r, c),
             m: Matrix::zeros(r, c),
             v: Matrix::zeros(r, c),
+            version: next_version(),
         }
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&mut self) {
         self.grad.fill_zero();
+    }
+
+    /// Version ticket of the current value: changes on every optimizer
+    /// update. Caches derived from the value (the batched engine's
+    /// time-batched `W·X` projections) store the ticket they were
+    /// computed against and recompute on mismatch.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Applies one ADAM update using the accumulated gradient.
@@ -76,6 +98,7 @@ impl Param {
             let v_hat = v / b2t;
             self.value.data_mut()[i] -= cfg.lr * m_hat / (v_hat.sqrt() + cfg.eps);
         }
+        self.version = next_version();
     }
 }
 
@@ -132,6 +155,21 @@ mod tests {
         b.adam_step(&cfg, 1);
         // Clipped 100.0 behaves exactly like 0.5.
         assert!((a.value.get(0, 0) - b.value.get(0, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn version_tickets_are_unique_and_change_on_update() {
+        let a = Param::new(Matrix::zeros(1, 1));
+        let b = Param::new(Matrix::zeros(1, 1));
+        assert_ne!(a.version(), b.version());
+        // An unmodified clone shares the ticket (identical value, caches
+        // keyed by it stay valid)…
+        let mut c = a.clone();
+        assert_eq!(c.version(), a.version());
+        // …until the first optimizer update diverges it.
+        c.grad.set(0, 0, 1.0);
+        c.adam_step(&AdamConfig::default(), 1);
+        assert_ne!(c.version(), a.version());
     }
 
     #[test]

@@ -2,13 +2,34 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use thrubarrier_nn::gru::BiGru;
 use thrubarrier_nn::loss;
 use thrubarrier_nn::lstm::{BiLstm, Lstm};
-use thrubarrier_nn::{BrnnClassifier, GemmScratch, Matrix};
+use thrubarrier_nn::model::TrainConfig;
+use thrubarrier_nn::{BatchWorkspace, BrnnClassifier, GemmScratch, Matrix};
 
 fn sequence_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
     prop::collection::vec(prop::collection::vec(-1.0f32..1.0, 3), 1..12)
+}
+
+/// A minibatch at the issue's pinned sizes (B ∈ {1, 2, 5, 8}) with
+/// independently drawn, usually unequal, sequence lengths. Implemented
+/// as a hand-rolled [`Strategy`] because the vendored proptest has no
+/// `prop_flat_map`/`sample::select` combinators.
+struct BatchStrategy;
+
+impl Strategy for BatchStrategy {
+    type Value = Vec<Vec<Vec<f32>>>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        const SIZES: [usize; 4] = [1, 2, 5, 8];
+        let b = SIZES[rng.gen_range(0..SIZES.len())];
+        (0..b).map(|_| sequence_strategy().generate(rng)).collect()
+    }
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<Vec<Vec<f32>>>> {
+    BatchStrategy
 }
 
 proptest! {
@@ -337,5 +358,104 @@ impl LegacyLstm {
             }
         }
         (dw, du, db, dxs)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The packed-batch BiLSTM engine — both the training path
+    /// (`forward_batch`) and the cache-free inference path
+    /// (`hidden_states_batch`) — reproduces the per-sequence engine
+    /// within 1e-5 at every frame, for minibatch sizes B ∈ {1, 2, 5, 8}
+    /// with independently drawn (mixed) sequence lengths.
+    #[test]
+    fn batched_bilstm_forward_matches_sequential(
+        batch in batch_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BiLstm::new(3, 6, &mut rng);
+        let mut scratch = GemmScratch::new();
+        let mut ws = BatchWorkspace::new();
+        let seqs: Vec<&[Vec<f32>]> = batch.iter().map(|s| s.as_slice()).collect();
+        let trained = net.forward_batch(&seqs, &mut ws, &mut scratch);
+        let inferred = net.hidden_states_batch(&seqs, &mut ws, &mut scratch);
+        for (i, xs) in batch.iter().enumerate() {
+            let (expect, _) = net.forward_with_scratch(xs, &mut scratch);
+            prop_assert_eq!(trained[i].len(), expect.len());
+            prop_assert_eq!(inferred[i].len(), expect.len());
+            for (t, row) in expect.iter().enumerate() {
+                for (k, &e) in row.iter().enumerate() {
+                    prop_assert!(
+                        rel_close(trained[i][t][k], e),
+                        "train path seq {} frame {} unit {}: {} vs {}",
+                        i, t, k, trained[i][t][k], e
+                    );
+                    prop_assert!(
+                        rel_close(inferred[i][t][k], e),
+                        "infer path seq {} frame {} unit {}: {} vs {}",
+                        i, t, k, inferred[i][t][k], e
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same parity property for the packed-batch BiGRU engine.
+    #[test]
+    fn batched_bigru_forward_matches_sequential(
+        batch in batch_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = BiGru::new(3, 6, &mut rng);
+        let mut scratch = GemmScratch::new();
+        let mut ws = BatchWorkspace::new();
+        let seqs: Vec<&[Vec<f32>]> = batch.iter().map(|s| s.as_slice()).collect();
+        let batched = net.forward_batch(&seqs, &mut ws, &mut scratch);
+        for (i, xs) in batch.iter().enumerate() {
+            let (expect, _) = net.forward_with_scratch(xs, &mut scratch);
+            prop_assert_eq!(batched[i].len(), expect.len());
+            for (t, row) in expect.iter().enumerate() {
+                for (k, &e) in row.iter().enumerate() {
+                    prop_assert!(
+                        rel_close(batched[i][t][k], e),
+                        "seq {} frame {} unit {}: {} vs {}",
+                        i, t, k, batched[i][t][k], e
+                    );
+                }
+            }
+        }
+    }
+
+    /// One batched `train_step` reaches the same loss as the sequential
+    /// reference path when both start from identical weights (fixed
+    /// seed) and see the same minibatch.
+    #[test]
+    fn batched_train_step_loss_matches_sequential(
+        batch in batch_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq_model = BrnnClassifier::new(3, 5, 2, &mut rng);
+        let mut bat_model = seq_model.clone();
+        let labels: Vec<Vec<usize>> = batch
+            .iter()
+            .map(|s| (0..s.len()).map(|t| t % 2).collect())
+            .collect();
+        let pairs: Vec<(&[Vec<f32>], &[usize])> = batch
+            .iter()
+            .zip(&labels)
+            .map(|(s, y)| (s.as_slice(), y.as_slice()))
+            .collect();
+        let cfg = TrainConfig::default();
+        let seq_loss = seq_model.train_step_sequential(&pairs, &cfg);
+        let bat_loss = bat_model.train_step(&pairs, &cfg);
+        prop_assert!(
+            rel_close(seq_loss, bat_loss),
+            "sequential {} vs batched {}",
+            seq_loss, bat_loss
+        );
     }
 }
