@@ -21,7 +21,9 @@ use thrubarrier_dsp::mel::MfccExtractor;
 use thrubarrier_dsp::{correlate, fft, gen, Stft};
 use thrubarrier_eval::runner::score_trial;
 use thrubarrier_eval::scenario::TrialContext;
+use thrubarrier_nn::act::gates_fused;
 use thrubarrier_nn::model::{BrnnClassifier, TrainConfig};
+use thrubarrier_nn::score::{ScoreService, DEFAULT_MAX_BATCH};
 use thrubarrier_nn::{BatchWorkspace, GemmScratch};
 use thrubarrier_vibration::Wearable;
 
@@ -168,6 +170,76 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         }),
     );
 
+    // Per-worker inline scoring as the eval runner's non-service path
+    // does it: 8 worker threads, each scoring its own group of 8
+    // one-second segments with a fresh workspace per group (every group
+    // is new data in a real run, so nothing is pack- or
+    // projection-cached — unlike `brnn_segment_batch8`, which re-scores
+    // identical data into a warm workspace). 64 segments per timed run;
+    // the baseline for `brnn_score_service_8t`.
+    out.insert(
+        "brnn_score_inline_8t",
+        median_ns(iters.max(16), || {
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let brnn = &brnn;
+                    let seg_seqs = &seg_seqs;
+                    scope.spawn(move || {
+                        let mut ws = BatchWorkspace::new();
+                        let mut scratch = GemmScratch::new();
+                        black_box(brnn.predict_batch(black_box(seg_seqs), &mut ws, &mut scratch));
+                    });
+                }
+            });
+        }),
+    );
+
+    // The shared scoring service under the default eval shape: 8 worker
+    // threads each submit a group of 8 one-second segments to one engine
+    // thread, which coalesces concurrent groups into wide fused-GEMM
+    // packs (up to the 64-segment drain cap). 64 segments per timed run;
+    // compare per segment against `brnn_score_inline_8t` for the win of
+    // cross-worker coalescing.
+    let service = ScoreService::spawn(brnn.clone(), DEFAULT_MAX_BATCH);
+    out.insert(
+        "brnn_score_service_8t",
+        median_ns(iters.max(16), || {
+            std::thread::scope(|scope| {
+                for _ in 0..8 {
+                    let client = service.client();
+                    let feats = &batch_feats;
+                    scope.spawn(move || {
+                        let tickets: Vec<_> =
+                            feats.iter().map(|f| client.submit(f.clone())).collect();
+                        for t in tickets {
+                            black_box(t.wait());
+                        }
+                    });
+                }
+            });
+        }),
+    );
+    drop(service);
+
+    // The gate-fused activation sweep over one LSTM row's 4H gate
+    // buffer at paper width (H = 64): sigmoid on the input/forget and
+    // output blocks and tanh on the candidate block in a single pass.
+    // 1000 sweeps per timed run (one sweep is far below timer
+    // granularity); the buffer is restored from a pristine copy each
+    // sweep so every iteration transforms identical data.
+    let gate_src: Vec<f32> = (0..4 * 64).map(|i| (i as f32).sin() * 4.0).collect();
+    let mut gate_buf = gate_src.clone();
+    out.insert(
+        "act_gate_fused_4h",
+        median_ns(iters.max(64), || {
+            for _ in 0..1_000 {
+                gate_buf.copy_from_slice(&gate_src);
+                gates_fused(black_box(&mut gate_buf), 64);
+            }
+            black_box(&gate_buf);
+        }),
+    );
+
     // One optimizer step over a small batch (forward + BPTT + ADAM), the
     // unit of detector training cost.
     let mut rng = StdRng::seed_from_u64(5);
@@ -261,8 +333,29 @@ fn parse_existing(text: &str) -> BTreeMap<String, BTreeMap<String, u64>> {
     runs
 }
 
+/// A one-line fingerprint of the machine the numbers were taken on —
+/// CPU model plus logical core count. Committed next to the figures so
+/// a pre/post comparison across different hosts (where every stage
+/// shifts by a common factor) is recognizable as a host change rather
+/// than a code regression.
+fn host_fingerprint() -> String {
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':').map(|(_, v)| v.trim().to_string()))
+        })
+        .unwrap_or_else(|| "unknown cpu".to_string());
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!("{model}, {cores} logical cores").replace('"', "'")
+}
+
 fn render(runs: &BTreeMap<String, BTreeMap<String, u64>>) -> String {
-    let mut s = String::from("{\n  \"unit\": \"ns_median\",\n  \"runs\": {\n");
+    let mut s = format!(
+        "{{\n  \"unit\": \"ns_median\",\n  \"host\": \"{}\",\n  \"runs\": {{\n",
+        host_fingerprint()
+    );
     let n_labels = runs.len();
     for (li, (label, stages)) in runs.iter().enumerate() {
         s.push_str(&format!("    \"{label}\": {{\n"));

@@ -13,6 +13,7 @@ use thrubarrier_defense::segmentation::{
 };
 use thrubarrier_defense::selection::{run_selection, SelectionConfig};
 use thrubarrier_defense::{DefenseMethod, DefenseSystem};
+use thrubarrier_nn::score::{ScoreService, DEFAULT_MAX_BATCH};
 use thrubarrier_phoneme::command::CommandBank;
 use thrubarrier_phoneme::corpus::{speaker_panel, training_corpus};
 use thrubarrier_phoneme::inventory::PhonemeId;
@@ -208,9 +209,31 @@ impl Runner {
         sensitive_symbols: Vec<&'static str>,
     ) -> EvalOutcome {
         let plans = self.plan_trials();
-        let system = DefenseSystem::with_selector(Wearable::fossil_gen_5(), selector);
         let cfg = &self.config;
         let n_threads = cfg.threads.max(1);
+        // Shared scoring engine: with several workers and a selector
+        // backed by a BRNN, spawn one engine thread from the same
+        // weights and route every worker's batched mask scoring through
+        // it — the engine coalesces groups from all workers into one
+        // wide fused-GEMM pack per drain. The fused kernels are bitwise
+        // batch-size invariant, so scores are identical to inline
+        // per-worker batching. Declared before the system so the
+        // workers' client handles drop first and the engine join in
+        // `Drop` cannot block.
+        let service = if n_threads > 1 {
+            selector
+                .classifier()
+                .map(|model| ScoreService::spawn(model.clone(), DEFAULT_MAX_BATCH))
+        } else {
+            None
+        };
+        let selector = match &service {
+            Some(service) => selector
+                .with_backend(Arc::new(service.client()))
+                .unwrap_or(selector),
+            None => selector,
+        };
+        let system = DefenseSystem::with_selector(Wearable::fossil_gen_5(), selector);
         let chunks: Vec<Vec<TrialPlan>> = split_round_robin(&plans, n_threads);
         let utterances = UtteranceCache::default();
         let results: Vec<Vec<(TrialPlan, [f32; 3])>> = std::thread::scope(|scope| {
@@ -582,6 +605,49 @@ mod tests {
                 let mut cfg = tiny_config();
                 cfg.threads = threads;
                 Runner::new(cfg).run()
+            })
+            .collect();
+        let sorted = |mut v: Vec<f32>| {
+            v.sort_by(f32::total_cmp);
+            v
+        };
+        let reference = &runs[0];
+        for other in &runs[1..] {
+            for (m, pool) in &reference.pools {
+                assert_eq!(
+                    sorted(pool.legitimate.clone()),
+                    sorted(other.pool(*m).legitimate.clone())
+                );
+                assert_eq!(
+                    sorted(pool.attack_scores()),
+                    sorted(other.pool(*m).attack_scores())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_service_scores_are_bitwise_identical_to_inline() {
+        // threads = 1 scores every mask inline in the worker; threads
+        // ∈ {4, 8} route all mask scoring through the shared engine,
+        // whose drains coalesce groups from different workers into
+        // arbitrary interleavings. Identical score multisets prove the
+        // service path is bitwise equivalent to inline batching (the
+        // fused kernels are batch-size invariant, so coalescing wider
+        // packs changes nothing).
+        let mut cfg = tiny_config();
+        cfg.selector = SelectorChoice::Brnn {
+            corpus_size: 6,
+            epochs: 1,
+            hidden: 8,
+        };
+        let (selector, symbols) = Runner::new(cfg.clone()).build_selector();
+        let runs: Vec<EvalOutcome> = [1usize, 4, 8]
+            .into_iter()
+            .map(|threads| {
+                let mut cfg = cfg.clone();
+                cfg.threads = threads;
+                Runner::new(cfg).run_with_selector(Arc::clone(&selector), symbols.clone())
             })
             .collect();
         let sorted = |mut v: Vec<f32>| {

@@ -119,6 +119,144 @@ pub fn sigmoid_slice(xs: &mut [f32]) {
     }
 }
 
+/// Fused activation sweep over a packed `[i, f, g, o]` LSTM gate row:
+/// sigmoid on `[..2H]` (input and forget gates), [`tanh`] on
+/// `[2H..3H]` (cell candidate), sigmoid on `[3H..]` (output gate) — in
+/// a single pass over the `4H` buffer.
+///
+/// Every element receives exactly the operation sequence of the scalar
+/// [`tanh`]/[`sigmoid`] functions, so the result is bitwise identical
+/// to three separate [`sigmoid_slice`]/[`tanh_slice`] calls. What the
+/// fusion buys is one runtime feature dispatch instead of three, one
+/// inlined loop body over the whole row, and no per-slice sub-lane
+/// remainder tails when `H` is lane-aligned — which matters because
+/// this runs once per timestep per sequence in both the training cell
+/// and the batched inference row loop.
+///
+/// # Panics
+///
+/// Panics if `zs.len() != 4 * hl`.
+///
+/// # Example
+///
+/// ```
+/// let hl = 3;
+/// let mut fused: Vec<f32> = (0..4 * hl).map(|i| i as f32 * 0.3 - 1.7).collect();
+/// let mut sliced = fused.clone();
+/// thrubarrier_nn::act::gates_fused(&mut fused, hl);
+/// thrubarrier_nn::act::sigmoid_slice(&mut sliced[..2 * hl]);
+/// thrubarrier_nn::act::tanh_slice(&mut sliced[2 * hl..3 * hl]);
+/// thrubarrier_nn::act::sigmoid_slice(&mut sliced[3 * hl..]);
+/// assert_eq!(fused, sliced);
+/// ```
+#[inline]
+pub fn gates_fused(zs: &mut [f32], hl: usize) {
+    assert_eq!(zs.len(), 4 * hl, "gate buffer must be 4·H wide");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check above.
+        unsafe { gates_fused_avx2(zs, hl) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        unsafe { gates_fused_neon(zs, hl) };
+        return;
+    }
+    let (sig_lo, rest) = zs.split_at_mut(2 * hl);
+    let (tanh_mid, sig_hi) = rest.split_at_mut(hl);
+    for x in sig_lo {
+        *x = sigmoid(*x);
+    }
+    for x in tanh_mid {
+        *x = tanh(*x);
+    }
+    for x in sig_hi {
+        *x = sigmoid(*x);
+    }
+}
+
+/// AVX2 body of [`gates_fused`]: one walk over the `4H` row, switching
+/// the lane op at the two region boundaries. Full eight-lane chunks use
+/// [`tanh_lanes`] (directly for the candidate region, through the
+/// `0.5 · tanh(0.5x) + 0.5` identity for the sigmoid regions); the up
+/// to seven elements before each boundary fall back to the scalar
+/// kernels, which are lane-for-lane bitwise identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gates_fused_avx2(zs: &mut [f32], hl: usize) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+    let half = _mm256_set1_ps(0.5);
+    let (b1, b2, n) = (2 * hl, 3 * hl, 4 * hl);
+    let mut i = 0;
+    while i < n {
+        let (end, is_tanh) = if i < b1 {
+            (b1, false)
+        } else if i < b2 {
+            (b2, true)
+        } else {
+            (n, false)
+        };
+        while i + 8 <= end {
+            // SAFETY: `i + 8 <= end <= n == zs.len()`.
+            let x = unsafe { _mm256_loadu_ps(zs.as_ptr().add(i)) };
+            let y = if is_tanh {
+                tanh_lanes(x)
+            } else {
+                let t = tanh_lanes(_mm256_mul_ps(half, x));
+                _mm256_add_ps(_mm256_mul_ps(half, t), half)
+            };
+            // SAFETY: as above.
+            unsafe { _mm256_storeu_ps(zs.as_mut_ptr().add(i), y) };
+            i += 8;
+        }
+        while i < end {
+            zs[i] = if is_tanh { tanh(zs[i]) } else { sigmoid(zs[i]) };
+            i += 1;
+        }
+    }
+}
+
+/// NEON body of [`gates_fused`]; the four-wide mirror of
+/// [`gates_fused_avx2`], built on [`tanh_lanes_neon`].
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn gates_fused_neon(zs: &mut [f32], hl: usize) {
+    use std::arch::aarch64::{vaddq_f32, vdupq_n_f32, vld1q_f32, vmulq_f32, vst1q_f32};
+    let half = vdupq_n_f32(0.5);
+    let (b1, b2, n) = (2 * hl, 3 * hl, 4 * hl);
+    let mut i = 0;
+    while i < n {
+        let (end, is_tanh) = if i < b1 {
+            (b1, false)
+        } else if i < b2 {
+            (b2, true)
+        } else {
+            (n, false)
+        };
+        while i + 4 <= end {
+            // SAFETY: `i + 4 <= end <= n == zs.len()`.
+            let x = unsafe { vld1q_f32(zs.as_ptr().add(i)) };
+            let y = if is_tanh {
+                tanh_lanes_neon(x)
+            } else {
+                let t = tanh_lanes_neon(vmulq_f32(half, x));
+                vaddq_f32(vmulq_f32(half, t), half)
+            };
+            // SAFETY: as above.
+            unsafe { vst1q_f32(zs.as_mut_ptr().add(i), y) };
+            i += 4;
+        }
+        while i < end {
+            zs[i] = if is_tanh { tanh(zs[i]) } else { sigmoid(zs[i]) };
+            i += 1;
+        }
+    }
+}
+
 /// Eight-wide [`tanh`]: the same clamp, polynomial-evaluation and
 /// division sequence as the scalar kernel, so every lane's result is
 /// bitwise identical to `tanh(x)` (IEEE min/max/mul/add/div round the
@@ -306,6 +444,43 @@ mod tests {
                     s[k].to_bits(),
                     sigmoid(x).to_bits(),
                     "sigmoid lane {k} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gate_sweep_is_bitwise_identical_to_sliced_calls() {
+        // Hidden sizes that are multiples of the SIMD width, odd, prime,
+        // and sub-lane — the latter force the scalar boundary handling
+        // inside every vector body.
+        for hl in [1, 2, 3, 5, 7, 8, 11, 16, 33, 64] {
+            let zs: Vec<f32> = (0..4 * hl)
+                .map(|i| (i as f32 * 0.61).sin() * 8.0 - 1.0)
+                .collect();
+            let mut fused = zs.clone();
+            gates_fused(&mut fused, hl);
+            let mut sliced = zs.clone();
+            sigmoid_slice(&mut sliced[..2 * hl]);
+            tanh_slice(&mut sliced[2 * hl..3 * hl]);
+            sigmoid_slice(&mut sliced[3 * hl..]);
+            for k in 0..4 * hl {
+                assert_eq!(
+                    fused[k].to_bits(),
+                    sliced[k].to_bits(),
+                    "fused gate lane {k} hl {hl}"
+                );
+                // And against the scalar reference directly, so the
+                // sliced path can't mask a shared error.
+                let want = if (2 * hl..3 * hl).contains(&k) {
+                    tanh(zs[k])
+                } else {
+                    sigmoid(zs[k])
+                };
+                assert_eq!(
+                    fused[k].to_bits(),
+                    want.to_bits(),
+                    "scalar lane {k} hl {hl}"
                 );
             }
         }

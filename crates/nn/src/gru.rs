@@ -14,7 +14,7 @@
 //! recurrent gradient is scaled by the reset gate, so the `U`-side gate
 //! matrix differs from the `W`-side one.
 
-use crate::act::{sigmoid, tanh};
+use crate::act::{sigmoid, sigmoid_slice, tanh, tanh_slice};
 use crate::batch::{BatchWorkspace, DirCache, PackedBatch};
 use crate::matrix::{pack_rows, GemmScratch, Matrix};
 use crate::param::Param;
@@ -220,6 +220,25 @@ impl Gru {
         dxs
     }
 
+    /// Fills `dir.proj` with the pack's input projections, keyed by the
+    /// weight versions so successive passes over an unchanged model
+    /// re-use it. Unlike the LSTM cache, `proj` stays bare `W·x`: the
+    /// GRU cell adds `wx + uh + bias` in that association order, so
+    /// folding the bias in here would change the sums bitwise.
+    fn fill_proj(&self, pack: &PackedBatch, dir: &mut DirCache, reversed: bool) {
+        let gr = 3 * self.hidden_size;
+        let total = pack.total_rows();
+        let key = (self.w.version(), self.b.version());
+        if dir.proj_key != Some(key) {
+            dir.proj.clear();
+            dir.proj.resize(total * gr, 0.0);
+            self.w
+                .value
+                .matmul_nt_to(pack.x(reversed), total, &mut dir.proj, false);
+            dir.proj_key = Some(key);
+        }
+    }
+
     /// Batched forward pass over a packed minibatch, mirroring
     /// [`crate::lstm::Lstm::forward_batch_dir`]: the recurrent `U·h` of
     /// every active sequence runs as one `3H×H × H×nb` GEMM per step
@@ -239,18 +258,7 @@ impl Gru {
         let gr = 3 * hl;
         assert_eq!(pack.width(), self.input_size, "input dimension mismatch");
         let total = pack.total_rows();
-        // Unlike the LSTM cache, `proj` stays bare `W·x`: the GRU cell
-        // adds `wx + uh + bias` in that association order, so folding
-        // the bias in here would change the sums bitwise.
-        let key = (self.w.version(), self.b.version());
-        if dir.proj_key != Some(key) {
-            dir.proj.clear();
-            dir.proj.resize(total * gr, 0.0);
-            self.w
-                .value
-                .matmul_nt_to(pack.x(reversed), total, &mut dir.proj, false);
-            dir.proj_key = Some(key);
-        }
+        self.fill_proj(pack, dir, reversed);
         dir.h_prev.clear();
         dir.h_prev.resize(total * hl, 0.0);
         dir.gates.clear();
@@ -303,6 +311,95 @@ impl Gru {
                 let dst = &mut out[pack.order()[b]][pos];
                 for (o, &v) in dst.iter_mut().zip(&bh[b * hl..(b + 1) * hl]) {
                     *o += v;
+                }
+            }
+        }
+    }
+
+    /// Batched *inference* forward pass writing straight into the flat
+    /// packed output buffer `flat` (`total_rows x H`, packed-row
+    /// order), mirroring [`crate::lstm::Lstm::infer_batch_dir_flat`]:
+    /// the recurrent `U·h` GEMM runs on the fused-FMA kernels of
+    /// [`Matrix::matmul_nt_fused_to`] and the gate activations go
+    /// through the slice kernels (bitwise identical per element to the
+    /// scalar calls of the sequential cell), so outputs match the
+    /// sequential engine within fused-multiply-add rounding instead of
+    /// bitwise while staying deterministic and bitwise batch-size
+    /// invariant. No per-step caches are recorded and no per-frame
+    /// vectors are allocated.
+    pub(crate) fn infer_batch_dir_flat(
+        &self,
+        pack: &PackedBatch,
+        dir: &mut DirCache,
+        reversed: bool,
+        scratch: &mut GemmScratch,
+        flat: &mut [f32],
+        accumulate: bool,
+    ) {
+        let hl = self.hidden_size;
+        let gr = 3 * hl;
+        assert_eq!(pack.width(), self.input_size, "input dimension mismatch");
+        assert_eq!(flat.len(), pack.total_rows() * hl, "flat output length");
+        self.fill_proj(pack, dir, reversed);
+        let nb0 = if pack.max_len() == 0 {
+            0
+        } else {
+            pack.active(0)
+        };
+        let GemmScratch { bh, bt, bz, .. } = scratch;
+        bh.clear();
+        bh.resize(nb0 * hl, 0.0);
+        bt.clear();
+        bt.resize(nb0 * gr, 0.0);
+        bz.clear();
+        bz.resize(nb0 * gr, 0.0);
+        let bias = self.b.value.data();
+        for t in 0..pack.max_len() {
+            let nb = pack.active(t);
+            let off = pack.offset(t);
+            self.u
+                .value
+                .matmul_nt_fused_to(&bh[..nb * hl], nb, &mut bt[..nb * gr], false);
+            for b in 0..nb {
+                let r = off + b;
+                let uh = &bt[b * gr..(b + 1) * gr];
+                let wx = &dir.proj[r * gr..(r + 1) * gr];
+                let g = &mut bz[b * gr..(b + 1) * gr];
+                let h = &mut bh[b * hl..(b + 1) * hl];
+                // Pre-activations keep the sequential cell's
+                // `wx + uh + bias` association order; the slice kernels
+                // then activate them bitwise like the scalar calls.
+                for k in 0..2 * hl {
+                    g[k] = wx[k] + uh[k] + bias[k];
+                }
+                sigmoid_slice(&mut g[..2 * hl]);
+                for k in 0..hl {
+                    g[2 * hl + k] = wx[2 * hl + k] + g[hl + k] * uh[2 * hl + k] + bias[2 * hl + k];
+                }
+                tanh_slice(&mut g[2 * hl..]);
+                for k in 0..hl {
+                    h[k] = (1.0 - g[k]) * g[2 * hl + k] + g[k] * h[k];
+                }
+            }
+            if !reversed && !accumulate {
+                // Step t's rows are exactly the packed rows at its
+                // offset: one block copy replaces the per-row scatter.
+                flat[off * hl..(off + nb) * hl].copy_from_slice(&bh[..nb * hl]);
+            } else {
+                for b in 0..nb {
+                    let pos = if reversed { pack.lens()[b] - 1 - t } else { t };
+                    // Row `b` is active at `pos` too (`pos < lens[b]`),
+                    // so it owns packed row `offset(pos) + b`.
+                    let row = pack.offset(pos) + b;
+                    let src = &bh[b * hl..(b + 1) * hl];
+                    let dst = &mut flat[row * hl..(row + 1) * hl];
+                    if accumulate {
+                        for (o, &v) in dst.iter_mut().zip(src) {
+                            *o += v;
+                        }
+                    } else {
+                        dst.copy_from_slice(src);
+                    }
                 }
             }
         }
@@ -496,6 +593,59 @@ impl BiGru {
         out
     }
 
+    /// Batched inference into the workspace's flat packed buffer
+    /// (`ws.flat`, `total_rows x hidden`, packed-row order): the
+    /// forward direction writes, the reversed direction accumulates —
+    /// the GRU mirror of
+    /// [`crate::lstm::BiLstm::hidden_states_batch_flat`], with the
+    /// recurrent GEMMs on the fused-FMA kernel family.
+    pub(crate) fn hidden_states_batch_flat(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+    ) {
+        ws.prepare(seqs, self.fwd.input_size());
+        let BatchWorkspace {
+            pack,
+            fwd,
+            bwd,
+            flat,
+        } = ws;
+        let hl = self.hidden_size();
+        flat.clear();
+        flat.resize(pack.total_rows() * hl, 0.0);
+        self.fwd
+            .infer_batch_dir_flat(pack, fwd, false, scratch, flat, false);
+        self.bwd
+            .infer_batch_dir_flat(pack, bwd, true, scratch, flat, true);
+    }
+
+    /// Batched inference: summed hidden states per sequence in caller
+    /// order, without recording backward-pass caches. A re-nesting
+    /// wrapper around [`BiGru::hidden_states_batch_flat`] — outputs
+    /// match the sequential engine within fused-multiply-add rounding
+    /// and are bitwise batch-size invariant.
+    pub fn hidden_states_batch(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+    ) -> Vec<Vec<Vec<f32>>> {
+        self.hidden_states_batch_flat(seqs, ws, scratch);
+        let hl = self.hidden_size();
+        let pack = &ws.pack;
+        let mut out: Vec<Vec<Vec<f32>>> =
+            seqs.iter().map(|s| Vec::with_capacity(s.len())).collect();
+        for (b, (&i, &len)) in pack.order().iter().zip(pack.lens()).enumerate() {
+            out[i].extend((0..len).map(|t| {
+                let row = pack.offset(t) + b;
+                ws.flat[row * hl..(row + 1) * hl].to_vec()
+            }));
+        }
+        out
+    }
+
     /// Batched BPTT through both directions; `dhs[i]` is caller
     /// sequence `i`'s flat output gradient (`len_i x H` row-major).
     /// Must follow a [`BiGru::forward_batch`] on the same workspace.
@@ -683,6 +833,60 @@ mod tests {
         for (i, seq) in seqs.iter().enumerate() {
             let (sequential, _) = bi.forward_with_scratch(seq, &mut scratch);
             assert_eq!(batched[i], sequential, "seq {i}");
+        }
+    }
+
+    #[test]
+    fn batched_inference_matches_sequential_within_rounding() {
+        use crate::batch::BatchWorkspace;
+        // The inference path runs the fused recurrent GEMM, so it is
+        // only required to agree with the sequential engine within
+        // fused-multiply-add rounding; H = 34 keeps it on the wide
+        // kernel path and mixed lengths exercise the scatter/accumulate
+        // flat writes of both directions.
+        let mut rng = StdRng::seed_from_u64(55);
+        let bi = BiGru::new(3, 34, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = [6usize, 1, 4, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| toy_inputs(len, 3, 700 + i as u64))
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let inferred = bi.hidden_states_batch(&refs, &mut ws, &mut scratch);
+        for (i, seq) in seqs.iter().enumerate() {
+            let (sequential, _) = bi.forward_with_scratch(seq, &mut scratch);
+            assert_eq!(inferred[i].len(), sequential.len(), "seq {i}");
+            for (t, (a, b)) in inferred[i].iter().zip(&sequential).enumerate() {
+                for (x, y) in a.iter().zip(b) {
+                    assert!((x - y).abs() < 1e-5, "seq {i} t {t}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_inference_is_bitwise_batch_size_invariant() {
+        use crate::batch::BatchWorkspace;
+        // The property the shared scoring service relies on: a
+        // sequence's inferred states must not depend on what else is in
+        // the batch.
+        let mut rng = StdRng::seed_from_u64(57);
+        let bi = BiGru::new(3, 34, &mut rng);
+        let seqs: Vec<Vec<Vec<f32>>> = [5usize, 2, 7]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| toy_inputs(len, 3, 800 + i as u64))
+            .collect();
+        let refs: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let together = bi.hidden_states_batch(&refs, &mut ws, &mut scratch);
+        for (i, seq) in seqs.iter().enumerate() {
+            let mut solo_ws = BatchWorkspace::new();
+            let alone = bi.hidden_states_batch(&[seq.as_slice()], &mut solo_ws, &mut scratch);
+            assert_eq!(together[i], alone[0], "seq {i}");
         }
     }
 

@@ -57,8 +57,10 @@ pub mod lstm;
 pub mod matrix;
 pub mod model;
 pub mod param;
+pub mod score;
 pub mod serialize;
 
 pub use batch::BatchWorkspace;
 pub use matrix::{GemmScratch, Matrix};
 pub use model::BrnnClassifier;
+pub use score::{PendingScore, ScoreClient, ScoreService};

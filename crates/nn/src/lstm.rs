@@ -27,7 +27,7 @@
 //! scratch per call. Inference-only traversal ([`BiLstm::hidden_states_with_scratch`])
 //! skips the activation caches entirely.
 
-use crate::act::{sigmoid_slice, tanh_slice};
+use crate::act::{gates_fused, tanh_slice};
 use crate::batch::{BatchWorkspace, DirCache, PackedBatch};
 use crate::matrix::{pack_rows, GemmScratch, Matrix};
 use crate::param::Param;
@@ -76,9 +76,7 @@ pub struct LstmCache {
 fn lstm_cell(z: &[f32], gates: &mut [f32], c: &mut [f32], h: &mut [f32], tanh_c: &mut [f32]) {
     let hl = h.len();
     gates.copy_from_slice(z);
-    sigmoid_slice(&mut gates[..2 * hl]);
-    tanh_slice(&mut gates[2 * hl..3 * hl]);
-    sigmoid_slice(&mut gates[3 * hl..]);
+    gates_fused(gates, hl);
     let (gi, rest) = gates.split_at(hl);
     let (gf, rest) = rest.split_at(hl);
     let (gg, go) = rest.split_at(hl);
@@ -284,9 +282,7 @@ impl Lstm {
             }
             self.u.value.matvec_add_into(h, &mut scratch.z);
             // Activate in place — no backward pass, so nothing is cached.
-            sigmoid_slice(&mut scratch.z[..2 * hl]);
-            tanh_slice(&mut scratch.z[2 * hl..3 * hl]);
-            sigmoid_slice(&mut scratch.z[3 * hl..]);
+            gates_fused(&mut scratch.z, hl);
             let (gi, rest) = scratch.z.split_at(hl);
             let (gf, rest) = rest.split_at(hl);
             let (gg, go) = rest.split_at(hl);
@@ -551,9 +547,7 @@ impl Lstm {
                 let c = &mut bc[b * hl..(b + 1) * hl];
                 let h = &mut bh[b * hl..(b + 1) * hl];
                 let zrow = &mut bz[b * gr..(b + 1) * gr];
-                sigmoid_slice(&mut zrow[..2 * hl]);
-                tanh_slice(&mut zrow[2 * hl..3 * hl]);
-                sigmoid_slice(&mut zrow[3 * hl..]);
+                gates_fused(zrow, hl);
                 let (gi, rest) = zrow.split_at(hl);
                 let (gf, rest) = rest.split_at(hl);
                 let (gg, go) = rest.split_at(hl);

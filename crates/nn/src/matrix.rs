@@ -645,7 +645,7 @@ fn dot_fused_scalar(a: &[f32], b: &[f32]) -> f32 {
 /// Folds the eight per-lane sums of a [`dot_fused_scalar`]-semantics
 /// accumulator (`m[k] = acc[k] + acc[8+k]` already applied) with the
 /// shared pairwise tree, then adds the sequential fused tail.
-#[cfg(target_arch = "x86_64")]
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
 #[inline]
 fn fused_tail(mut s: f32, row_tail: &[f32], x_tail: &[f32]) -> f32 {
     for (&xa, &xb) in row_tail.iter().zip(x_tail) {
@@ -920,14 +920,51 @@ unsafe fn dot8_fused_fma(rows8: &[f32], cols: usize, x: &[f32], out: &mut [f32],
     }
 }
 
+/// NEON single-row instantiation of [`dot_fused_scalar`]: accumulator
+/// lanes `4j..4j + 4` live in four-wide register `j` (`j < 4`), each
+/// updated with `vfmaq_f32` — the same correctly rounded IEEE fused
+/// multiply-add `f32::mul_add` lowers to on aarch64. The scalar fold
+/// `m[k] = acc[k] + acc[8 + k]` maps to the register adds
+/// `acc0 + acc2` (folded lanes 0..4) and `acc1 + acc3` (folded lanes
+/// 4..8), and the pairwise tree then runs over those eight lanes in the
+/// shared order, so every result is bitwise identical to the portable
+/// kernel — exactly the relationship [`dot_neon`] has with [`dot`].
+#[cfg(target_arch = "aarch64")]
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn dot1_fused_neon(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::aarch64::{vaddq_f32, vdupq_n_f32, vfmaq_f32, vgetq_lane_f32, vld1q_f32};
+    let cols = a.len().min(b.len());
+    let body = cols / 16 * 16;
+    let mut acc = [vdupq_n_f32(0.0); 4];
+    let mut c = 0;
+    while c < body {
+        for (j, slot) in acc.iter_mut().enumerate() {
+            // SAFETY: `c + 16 <= body <= a.len(), b.len()`, so offsets
+            // `c + 4j..c + 4j + 4` for `j < 4` are in bounds.
+            let va = unsafe { vld1q_f32(a.as_ptr().add(c + 4 * j)) };
+            let vb = unsafe { vld1q_f32(b.as_ptr().add(c + 4 * j)) };
+            *slot = vfmaq_f32(*slot, va, vb);
+        }
+        c += 16;
+    }
+    let mlo = vaddq_f32(acc[0], acc[2]);
+    let mhi = vaddq_f32(acc[1], acc[3]);
+    let s = ((vgetq_lane_f32::<0>(mlo) + vgetq_lane_f32::<1>(mlo))
+        + (vgetq_lane_f32::<2>(mlo) + vgetq_lane_f32::<3>(mlo)))
+        + ((vgetq_lane_f32::<0>(mhi) + vgetq_lane_f32::<1>(mhi))
+            + (vgetq_lane_f32::<2>(mhi) + vgetq_lane_f32::<3>(mhi)));
+    fused_tail(s, &a[body..cols], &b[body..cols])
+}
+
 /// Blocked loop of [`Matrix::matmul_nt_fused_to`], mirroring
 /// [`matmul_nt_rows`]'s panel structure with the fused kernels. Narrow
 /// inputs keep the column-streaming layout (its per-element overhead is
 /// already minimal and the fused kernels' 16-lane body never engages);
 /// on x86_64 full eight-row groups take the grouped kernels and
-/// leftovers the single-row ones, all bitwise identical per element.
-/// Other architectures use the portable [`dot_fused_scalar`] (on
-/// aarch64 `f32::mul_add` lowers to the native scalar `fmadd`).
+/// leftovers the single-row ones, all bitwise identical per element;
+/// aarch64 runs the per-row [`dot1_fused_neon`] loop. Other
+/// architectures use the portable [`dot_fused_scalar`].
 #[inline]
 fn matmul_nt_fused_rows(
     data: &[f32],
@@ -1039,6 +1076,12 @@ fn matmul_nt_fused_rows(
             return;
         }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: guarded by the runtime NEON check above.
+        unsafe { matmul_nt_fused_rows_neon(data, rows, cols, x, out, add) };
+        return;
+    }
     let mut r0 = 0;
     while r0 < rows {
         let r1 = (r0 + ROW_BLOCK).min(rows);
@@ -1046,6 +1089,36 @@ fn matmul_nt_fused_rows(
         for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
             for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
                 let d = dot_fused_scalar(row, xi);
+                *slot = if add { *slot + d } else { d };
+            }
+        }
+        r0 = r1;
+    }
+}
+
+/// NEON instantiation of [`matmul_nt_fused_rows`]'s fallback loop,
+/// dispatched once per call so [`dot1_fused_neon`] inlines into the
+/// panel walk. Element-for-element bitwise identical to the portable
+/// [`dot_fused_scalar`] path (and therefore to the x86_64 kernels).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn matmul_nt_fused_rows_neon(
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    out: &mut [f32],
+    add: bool,
+) {
+    const ROW_BLOCK: usize = 64;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + ROW_BLOCK).min(rows);
+        let panel = &data[r0 * cols..r1 * cols];
+        for (xi, oi) in x.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+            for (slot, row) in oi[r0..r1].iter_mut().zip(panel.chunks_exact(cols)) {
+                // SAFETY: the caller established NEON support.
+                let d = unsafe { dot1_fused_neon(row, xi) };
                 *slot = if add { *slot + d } else { d };
             }
         }

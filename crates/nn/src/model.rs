@@ -290,12 +290,26 @@ impl BrnnClassifier {
         ws: &mut BatchWorkspace,
         scratch: &mut GemmScratch,
     ) -> Vec<Vec<usize>> {
+        let mut logits = Vec::new();
+        self.predict_batch_into(seqs, ws, scratch, &mut logits)
+    }
+
+    /// [`BrnnClassifier::predict_batch`] with a caller-owned flat logits
+    /// buffer, so long-lived callers (the scoring service engine) reuse
+    /// one allocation across drains instead of growing a fresh vector
+    /// per batch. The buffer is cleared and refilled; its contents
+    /// between calls are not meaningful to callers.
+    pub fn predict_batch_into(
+        &self,
+        seqs: &[&[Vec<f32>]],
+        ws: &mut BatchWorkspace,
+        scratch: &mut GemmScratch,
+        logits: &mut Vec<f32>,
+    ) -> Vec<Vec<usize>> {
         self.rnn.hidden_states_batch_flat(seqs, ws, scratch);
         let nc = self.head.output_size();
         let pack = &ws.pack;
-        let mut logits = Vec::new();
-        self.head
-            .forward_flat(&ws.flat, pack.total_rows(), &mut logits);
+        self.head.forward_flat(&ws.flat, pack.total_rows(), logits);
         let mut out: Vec<Vec<usize>> = seqs.iter().map(|s| Vec::with_capacity(s.len())).collect();
         for (b, (&i, &len)) in pack.order().iter().zip(pack.lens()).enumerate() {
             out[i].extend((0..len).map(|t| {

@@ -1,0 +1,293 @@
+//! Shared BRNN scoring service: one GEMM engine thread for all
+//! evaluation workers.
+//!
+//! Per-worker batching (each eval thread packing its own group of
+//! `batch_size` phoneme segments) leaves the packed-batch GEMMs
+//! narrower than they could be: with 8 workers the engine sees eight
+//! batch-8 packs instead of one batch-64 pack, so each recurrent step
+//! pays eight small fused GEMM dispatches where one wide GEMM would
+//! amortize the weight-matrix traversal across every in-flight
+//! utterance. This module centralizes inference in a single engine
+//! thread:
+//!
+//! * Workers [`submit`](ScoreClient::submit) feature sequences over an
+//!   unbounded MPSC channel and block on a per-request reply channel.
+//! * The engine drains the queue with an **adaptive cut**: it blocks
+//!   for the first request, then keeps pulling with `try_recv` until
+//!   either `max_batch` segments are in hand or the queue is empty —
+//!   under load the batch grows to the cap, at low concurrency a lone
+//!   request is scored immediately instead of waiting for company.
+//! * Each drain runs the fused-FMA packed-batch inference path once
+//!   ([`BrnnClassifier::predict_batch_into`]) with a persistent
+//!   [`BatchWorkspace`], [`GemmScratch`] and flat logits buffer, so
+//!   packing storage, projection caches and the output buffer are
+//!   reused across drains.
+//! * Scores return to each submitter over its own oneshot-style
+//!   channel, in the submitter's order.
+//!
+//! Because the fused inference kernels are bitwise batch-size
+//! invariant (pinned 16-lane summation order regardless of how many
+//! utterances share the pack) and the head GEMM is row-independent,
+//! the labels produced here are **bitwise identical** to inline
+//! per-worker scoring for any interleaving of submissions across any
+//! number of threads.
+//!
+//! Shutdown is by sender drop: when the [`ScoreService`] handle and
+//! every [`ScoreClient`] are gone, the engine's blocking `recv` fails
+//! and the thread exits; dropping the service joins it.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::batch::BatchWorkspace;
+use crate::matrix::GemmScratch;
+use crate::model::BrnnClassifier;
+
+/// Default drain cut. Eight workers each keeping a group of eight
+/// segments in flight saturate this exactly; larger caps only add
+/// latency to the first submitter in a drain.
+pub const DEFAULT_MAX_BATCH: usize = 64;
+
+/// One queued scoring request: a feature sequence (frames of MFCC
+/// features) and the channel its per-frame labels go back on.
+struct Request {
+    seq: Vec<Vec<f32>>,
+    reply: Sender<Vec<usize>>,
+}
+
+/// Owning handle for the shared scoring engine thread.
+///
+/// Create one per evaluation run with [`ScoreService::spawn`], hand
+/// [`ScoreClient`]s to worker threads, and drop the service after the
+/// workers finish. Dropping joins the engine thread; the join blocks
+/// until every client has been dropped, so keep the service alive
+/// strictly longer than its clients (declare it first, or drop clients
+/// explicitly).
+#[derive(Debug)]
+pub struct ScoreService {
+    tx: Option<Sender<Request>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl ScoreService {
+    /// Spawns the engine thread around `model`. `max_batch` caps how
+    /// many queued segments one drain coalesces (clamped to at least
+    /// 1); [`DEFAULT_MAX_BATCH`] suits the default eval harness.
+    pub fn spawn(model: BrnnClassifier, max_batch: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let cap = max_batch.max(1);
+        let engine = std::thread::Builder::new()
+            .name("brnn-score-engine".into())
+            .spawn(move || engine_loop(&model, &rx, cap))
+            .expect("spawn scoring engine thread");
+        ScoreService {
+            tx: Some(tx),
+            engine: Some(engine),
+        }
+    }
+
+    /// A new submission handle. Clients are cheap (one channel sender)
+    /// and cloneable; one per worker thread is typical.
+    pub fn client(&self) -> ScoreClient {
+        ScoreClient {
+            tx: self
+                .tx
+                .as_ref()
+                .expect("service handle retains its sender until drop")
+                .clone(),
+        }
+    }
+}
+
+impl Drop for ScoreService {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+    }
+}
+
+/// Submission handle for worker threads: sends feature sequences to
+/// the engine and waits on per-request reply channels.
+#[derive(Debug, Clone)]
+pub struct ScoreClient {
+    tx: Sender<Request>,
+}
+
+impl ScoreClient {
+    /// Queues one feature sequence for scoring and returns immediately
+    /// with a ticket; redeem it with [`PendingScore::wait`]. Submitting
+    /// a whole group before waiting on any ticket lets the engine
+    /// coalesce the group into one drain.
+    ///
+    /// # Panics
+    /// If the engine thread is gone (service dropped or engine
+    /// panicked).
+    pub fn submit(&self, seq: Vec<Vec<f32>>) -> PendingScore {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Request { seq, reply })
+            .expect("scoring engine is running");
+        PendingScore { rx }
+    }
+
+    /// Scores a group of sequences: submits them all, then waits for
+    /// each. Labels come back in caller order, bitwise identical to
+    /// inline [`BrnnClassifier::predict_batch`] on the same group.
+    /// Takes the sequences by value — the engine thread needs owned
+    /// data, and callers (the segmentation front-end) have just
+    /// featurized them anyway, so nothing is copied.
+    pub fn classify_batch(&self, seqs: Vec<Vec<Vec<f32>>>) -> Vec<Vec<usize>> {
+        let tickets: Vec<PendingScore> = seqs.into_iter().map(|s| self.submit(s)).collect();
+        tickets.into_iter().map(PendingScore::wait).collect()
+    }
+}
+
+/// Ticket for one submitted sequence; [`wait`](PendingScore::wait)
+/// blocks until the engine's next drain scores it.
+#[derive(Debug)]
+pub struct PendingScore {
+    rx: Receiver<Vec<usize>>,
+}
+
+impl PendingScore {
+    /// Blocks for the per-frame argmax labels of the submitted
+    /// sequence.
+    ///
+    /// # Panics
+    /// If the engine dropped the request without replying (it
+    /// panicked mid-drain).
+    pub fn wait(self) -> Vec<usize> {
+        self.rx
+            .recv()
+            .expect("scoring engine replies to every request")
+    }
+}
+
+/// Engine body: block for the first request, drain opportunistically
+/// up to `max_batch`, score the coalesced pack once, reply, repeat.
+/// Exits when every sender is gone.
+fn engine_loop(model: &BrnnClassifier, rx: &Receiver<Request>, max_batch: usize) {
+    let mut ws = BatchWorkspace::new();
+    let mut scratch = GemmScratch::new();
+    let mut logits = Vec::new();
+    let mut pending: Vec<Request> = Vec::with_capacity(max_batch);
+    while let Ok(first) = rx.recv() {
+        pending.push(first);
+        while pending.len() < max_batch {
+            // Adaptive cut: stop at the cap or as soon as the queue is
+            // momentarily empty (Disconnected also lands here — this
+            // drain still completes, the outer recv then exits).
+            match rx.try_recv() {
+                Ok(req) => pending.push(req),
+                Err(_) => break,
+            }
+        }
+        let seqs: Vec<&[Vec<f32>]> = pending.iter().map(|r| r.seq.as_slice()).collect();
+        let labels = model.predict_batch_into(&seqs, &mut ws, &mut scratch, &mut logits);
+        for (req, out) in pending.drain(..).zip(labels) {
+            // A submitter that dropped its ticket just discards the
+            // reply; that is not an engine error.
+            let _ = req.reply.send(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn tiny_model(seed: u64) -> BrnnClassifier {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BrnnClassifier::new(13, 24, 3, &mut rng)
+    }
+
+    fn random_seqs(seed: u64, n: usize) -> Vec<Vec<Vec<f32>>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(1..10);
+                (0..len)
+                    .map(|_| (0..13).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn inline_labels(model: &BrnnClassifier, seqs: &[Vec<Vec<f32>>]) -> Vec<Vec<usize>> {
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        seqs.iter()
+            .map(|s| {
+                model
+                    .predict_batch(&[s.as_slice()], &mut ws, &mut scratch)
+                    .remove(0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn service_scores_are_identical_to_inline_across_thread_counts() {
+        let model = tiny_model(41);
+        let seqs = random_seqs(42, 48);
+        let expect = inline_labels(&model, &seqs);
+        for threads in [1usize, 4, 8] {
+            let service = ScoreService::spawn(model.clone(), DEFAULT_MAX_BATCH);
+            let mut got: Vec<Vec<Vec<usize>>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let client = service.client();
+                        let mine: Vec<&Vec<Vec<f32>>> =
+                            seqs.iter().skip(w).step_by(threads).collect();
+                        scope.spawn(move || {
+                            // Submit the whole slice first so drains
+                            // interleave requests from many workers.
+                            let tickets: Vec<PendingScore> =
+                                mine.iter().map(|s| client.submit((*s).clone())).collect();
+                            tickets
+                                .into_iter()
+                                .map(PendingScore::wait)
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                got = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            });
+            for (w, labels) in got.iter().enumerate() {
+                let expected: Vec<&Vec<usize>> = expect.iter().skip(w).step_by(threads).collect();
+                assert_eq!(labels.len(), expected.len());
+                for (a, b) in labels.iter().zip(expected) {
+                    assert_eq!(a, b, "service labels diverged at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classify_batch_matches_inline_batch_scoring() {
+        let model = tiny_model(7);
+        let seqs = random_seqs(8, 10);
+        let views: Vec<&[Vec<f32>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let mut ws = BatchWorkspace::new();
+        let mut scratch = GemmScratch::new();
+        let inline = model.predict_batch(&views, &mut ws, &mut scratch);
+        let service = ScoreService::spawn(model, 4);
+        let client = service.client();
+        assert_eq!(client.classify_batch(seqs), inline);
+    }
+
+    #[test]
+    fn engine_exits_cleanly_when_all_senders_drop() {
+        let service = ScoreService::spawn(tiny_model(3), 8);
+        let clients: Vec<ScoreClient> = (0..4).map(|_| service.client()).collect();
+        let ticket = clients[0].submit(random_seqs(4, 1).remove(0));
+        assert!(!ticket.wait().is_empty());
+        drop(clients);
+        // Drop joins the engine; returning from this test at all is the
+        // assertion that the join did not hang.
+        drop(service);
+    }
+}

@@ -402,7 +402,10 @@ proptest! {
         }
     }
 
-    /// The same parity property for the packed-batch BiGRU engine.
+    /// The same parity property for the packed-batch BiGRU engine —
+    /// the training path (`forward_batch`) and the fused-GEMM inference
+    /// path (`hidden_states_batch`) both reproduce the per-sequence
+    /// engine within tolerance.
     #[test]
     fn batched_bigru_forward_matches_sequential(
         batch in batch_strategy(),
@@ -414,15 +417,22 @@ proptest! {
         let mut ws = BatchWorkspace::new();
         let seqs: Vec<&[Vec<f32>]> = batch.iter().map(|s| s.as_slice()).collect();
         let batched = net.forward_batch(&seqs, &mut ws, &mut scratch);
+        let inferred = net.hidden_states_batch(&seqs, &mut ws, &mut scratch);
         for (i, xs) in batch.iter().enumerate() {
             let (expect, _) = net.forward_with_scratch(xs, &mut scratch);
             prop_assert_eq!(batched[i].len(), expect.len());
+            prop_assert_eq!(inferred[i].len(), expect.len());
             for (t, row) in expect.iter().enumerate() {
                 for (k, &e) in row.iter().enumerate() {
                     prop_assert!(
                         rel_close(batched[i][t][k], e),
-                        "seq {} frame {} unit {}: {} vs {}",
+                        "train path seq {} frame {} unit {}: {} vs {}",
                         i, t, k, batched[i][t][k], e
+                    );
+                    prop_assert!(
+                        rel_close(inferred[i][t][k], e),
+                        "infer path seq {} frame {} unit {}: {} vs {}",
+                        i, t, k, inferred[i][t][k], e
                     );
                 }
             }
