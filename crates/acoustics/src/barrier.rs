@@ -140,6 +140,7 @@ impl Barrier {
     /// Filters a signal through the barrier (frequency-domain
     /// application of the transmission curve).
     pub fn transmit(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
+        let _span = thrubarrier_obs::span!("acoustics.barrier_transmit");
         let this = *self;
         // The transmission curve is fully determined by the material's
         // three coefficients, so it is sampled once per (material,

@@ -103,6 +103,7 @@ impl AttackGenerator {
         adversary: &SpeakerProfile,
         rng: &mut R,
     ) -> AttackSound {
+        let _span = thrubarrier_obs::span!("attack.generate");
         let fs = self.sample_rate();
         match kind {
             AttackKind::Random => AttackSound {

@@ -5,10 +5,20 @@
 //! tracked in-repo across PRs. Criterion remains the precision harness;
 //! this binary exists so a labelled snapshot can be committed.
 //!
-//! Usage: `bench_json [--label NAME] [--out FILE] [--iters N]`
+//! Usage: `bench_json [--label NAME] [--out FILE] [--iters N]
+//! [--best-of N] [--trace-out FILE]`
 //!
 //! Runs under an existing label are replaced; other labels are kept, so
 //! `--label pre` / `--label post` snapshots accumulate in one file.
+//!
+//! When the workspace is built with `--features obs`, the output also
+//! embeds a `"metrics"` snapshot of the observability registry (cache
+//! hit rates, queue depths, batch-size and latency histograms) taken
+//! over the measured sweeps, and `--trace-out FILE` additionally writes
+//! a chrome://tracing JSON of every span in the final sweep (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>). Without the
+//! feature both are inert: the snapshot renders empty sections and the
+//! trace has no events.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +29,7 @@ use thrubarrier_acoustics::barrier::{Barrier, BarrierMaterial};
 use thrubarrier_defense::{DefenseMethod, DefenseSystem};
 use thrubarrier_dsp::mel::MfccExtractor;
 use thrubarrier_dsp::{correlate, fft, gen, Stft};
-use thrubarrier_eval::runner::score_trial;
+use thrubarrier_eval::runner::{score_trial, Runner, RunnerConfig};
 use thrubarrier_eval::scenario::TrialContext;
 use thrubarrier_nn::act::gates_fused;
 use thrubarrier_nn::model::{BrnnClassifier, TrainConfig};
@@ -300,34 +310,93 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         }),
     );
 
+    // A small threaded eval through the runner proper: covers the
+    // worker fan-out, per-worker trial minibatching, and the shared
+    // utterance cache (the stage above scores one trial directly and
+    // bypasses all three). Replay attacks re-synthesize the victim's
+    // command, so the cache sees hits within every run.
+    let eval_cfg = RunnerConfig {
+        participants: 2,
+        commands_per_user: 2,
+        attacks_per_kind: 4,
+        threads: 4,
+        ..Default::default()
+    };
+    let runner = Runner::new(eval_cfg);
+    let (selector, symbols) = runner.build_selector();
+    out.insert(
+        "eval_runner_8_trials_4t",
+        median_ns(iters, || {
+            black_box(runner.run_with_selector(selector.clone(), symbols.clone()));
+        }),
+    );
+
+    // The cost of 1000 instrumentation spans whose recording is turned
+    // off — the guard that keeps the obs layer honest. With the feature
+    // off each span is a compile-time no-op; with it on, one relaxed
+    // atomic load. Either way this stage should sit at timer-resolution
+    // noise; a visible figure here means the disabled path grew a cost.
+    thrubarrier_obs::set_enabled(false);
+    out.insert(
+        "obs_disabled_span_1k",
+        median_ns(iters.max(64), || {
+            for i in 0..1_000u64 {
+                let _span = thrubarrier_obs::span!("bench.disabled_overhead");
+                black_box(i);
+            }
+        }),
+    );
+    thrubarrier_obs::set_enabled(true);
+
     out
 }
 
 /// Extracts `label -> stage -> ns` from a JSON file previously written by
-/// this binary (exact format match; not a general JSON parser).
+/// this binary (exact format match; not a general JSON parser). Only the
+/// `"runs"` section is read: brace depth is tracked relative to it so
+/// sibling objects (the `"metrics"` snapshot with its nested histogram
+/// objects) can never be mistaken for run labels.
 fn parse_existing(text: &str) -> BTreeMap<String, BTreeMap<String, u64>> {
     let mut runs: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
     let mut label: Option<String> = None;
+    // 0 = outside "runs"; 1 = among labels; 2 = inside one label.
+    let mut depth = 0u32;
     for line in text.lines() {
         let t = line.trim();
+        if depth == 0 {
+            if let Some(rest) = t.strip_prefix("\"runs\"") {
+                if rest.trim_start_matches(':').trim().starts_with('{') {
+                    depth = 1;
+                }
+            }
+            continue;
+        }
         if let Some(rest) = t.strip_prefix('"') {
             if let Some((name, tail)) = rest.split_once('"') {
                 let tail = tail.trim_start_matches(':').trim();
                 if tail.starts_with('{') {
-                    if name != "runs" {
+                    if depth == 1 {
                         label = Some(name.to_string());
                     }
-                } else if let Some(l) = &label {
-                    let value = tail.trim_end_matches(',').trim();
-                    if let Ok(ns) = value.parse::<u64>() {
-                        runs.entry(l.clone())
-                            .or_default()
-                            .insert(name.to_string(), ns);
+                    depth += 1;
+                } else if depth == 2 {
+                    if let Some(l) = &label {
+                        let value = tail.trim_end_matches(',').trim();
+                        if let Ok(ns) = value.parse::<u64>() {
+                            runs.entry(l.clone())
+                                .or_default()
+                                .insert(name.to_string(), ns);
+                        }
                     }
                 }
             }
         } else if t.starts_with('}') {
-            label = None;
+            depth -= 1;
+            match depth {
+                1 => label = None,
+                0 => break,
+                _ => {}
+            }
         }
     }
     runs
@@ -352,9 +421,12 @@ fn host_fingerprint() -> String {
 }
 
 fn render(runs: &BTreeMap<String, BTreeMap<String, u64>>) -> String {
+    // The metrics snapshot describes *this* process's sweeps; a stale
+    // section from the existing file is deliberately not carried over.
     let mut s = format!(
-        "{{\n  \"unit\": \"ns_median\",\n  \"host\": \"{}\",\n  \"runs\": {{\n",
-        host_fingerprint()
+        "{{\n  \"unit\": \"ns_median\",\n  \"host\": \"{}\",\n  \"metrics\": {},\n  \"runs\": {{\n",
+        host_fingerprint(),
+        thrubarrier_obs::snapshot_json("  ")
     );
     let n_labels = runs.len();
     for (li, (label, stages)) in runs.iter().enumerate() {
@@ -376,6 +448,7 @@ fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut iters = 15usize;
     let mut best_of = 1usize;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -395,14 +468,22 @@ fn main() {
                     .parse()
                     .expect("--best-of must be an integer")
             }
+            "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a value")),
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: bench_json [--label NAME] [--out FILE] [--iters N] [--best-of N]"
+                    "usage: bench_json [--label NAME] [--out FILE] [--iters N] [--best-of N] \
+                     [--trace-out FILE]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if trace_out.is_some() && !thrubarrier_obs::COMPILED {
+        eprintln!(
+            "warning: --trace-out without the `obs` feature writes an empty trace; \
+             rebuild with `--features obs`"
+        );
     }
 
     // On shared hosts whole seconds-long windows can run a small integer
@@ -417,6 +498,16 @@ fn main() {
             let slot = stages.entry(name).or_insert(ns);
             *slot = (*slot).min(ns);
         }
+    }
+    // Tracing only spans the final (extra) sweep so the trace stays a
+    // readable size and the measured sweeps above run untraced.
+    if let Some(path) = &trace_out {
+        thrubarrier_obs::label_thread("bench-main");
+        thrubarrier_obs::start_trace();
+        run_stages(iters.min(3));
+        let trace = thrubarrier_obs::finish_trace();
+        std::fs::write(path, trace).expect("write chrome trace JSON");
+        eprintln!("wrote {path} (chrome://tracing)");
     }
     for (name, ns) in &stages {
         eprintln!("  {name}: {:.3} ms", *ns as f64 / 1e6);

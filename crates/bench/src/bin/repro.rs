@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--scale X] [--seed N] <experiment>...
+//! repro [--quick|--full] [--scale X] [--seed N] [--trace-out FILE] <experiment>...
 //!
 //! experiments:
 //!   table1 table2 fig3 fig4 fig6 fig7 fig9 fig10
@@ -22,6 +22,7 @@ fn main() {
     let mut preset = ReproPreset::default_preset();
     let mut seed: Option<u64> = None;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut experiments: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -39,6 +40,10 @@ fn main() {
             "--csv" => {
                 let v = iter.next().expect("--csv needs a directory");
                 csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--trace-out" => {
+                let v = iter.next().expect("--trace-out needs a file");
+                trace_out = Some(std::path::PathBuf::from(v));
             }
             "--help" | "-h" => {
                 print_help();
@@ -78,10 +83,27 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
     }
+    if trace_out.is_some() {
+        if !thrubarrier_obs::COMPILED {
+            eprintln!(
+                "warning: --trace-out without the `obs` feature writes an empty trace; \
+                 rebuild with `--features obs`"
+            );
+        }
+        thrubarrier_obs::label_thread("repro-main");
+        thrubarrier_obs::start_trace();
+    }
     for exp in &experiments {
         println!("================ {exp} ================");
         run_experiment(exp, &preset, seed, csv_dir.as_deref());
         println!();
+    }
+    if let Some(path) = &trace_out {
+        // Every experiment's worker scope has joined by now, so the
+        // trace holds all spans from all threads of the run.
+        let trace = thrubarrier_obs::finish_trace();
+        std::fs::write(path, trace).expect("write chrome trace JSON");
+        eprintln!("wrote {} (chrome://tracing)", path.display());
     }
 }
 
@@ -96,7 +118,9 @@ fn print_help() {
          --full   paper-scale trial counts + 64-unit BRNN (hours)\n\
          --scale  override the trial-count scale (1.0 = paper scale)\n\
          --seed   override the master seed\n\
-         --csv    directory to write ROC CURVES as CSV (fig9/fig10)"
+         --csv    directory to write ROC CURVES as CSV (fig9/fig10)\n\
+         --trace-out  write a chrome://tracing JSON of the whole run\n\
+                      (spans only exist when built with --features obs)"
     );
 }
 

@@ -1,4 +1,10 @@
 //! Diagnostic: per-phoneme frame classification rates of the BRNN.
+//!
+//! Run statistics (frame counts, selection totals, training/eval phase
+//! timings, MFCC/GEMM spans, projection-cache hit rates) are reported
+//! through the observability registry instead of ad-hoc prints — build
+//! with `--features obs` to see them; the per-phoneme table below is
+//! the example's data output and always prints.
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -9,6 +15,7 @@ use thrubarrier_phoneme::inventory::{Inventory, PhonemeId};
 use thrubarrier_phoneme::synth::Synthesizer;
 
 fn main() {
+    thrubarrier_obs::set_enabled(true);
     let mut rng = StdRng::seed_from_u64(99);
     let panel = speaker_panel(3, 3, &mut rng);
     let synth = Synthesizer::new(16_000);
@@ -18,20 +25,32 @@ fn main() {
         .filter(|c| !rejected.contains(&c.symbol))
         .map(|c| c.id)
         .collect();
-    let corpus = training_corpus(&synth, 80, &panel, &mut rng);
-    let cfg = DetectorTrainConfig {
-        hidden_size: 48,
-        epochs: 3,
-        ..Default::default()
+    let (det, test) = {
+        let _span = thrubarrier_obs::span!("example.train");
+        let corpus = training_corpus(&synth, 80, &panel, &mut rng);
+        let cfg = DetectorTrainConfig {
+            hidden_size: 48,
+            epochs: 3,
+            ..Default::default()
+        };
+        let det = PhonemeDetector::train(&sensitive, &corpus, &cfg, &mut rng);
+        let test = training_corpus(&synth, 30, &panel, &mut rng);
+        (det, test)
     };
-    let det = PhonemeDetector::train(&sensitive, &corpus, &cfg, &mut rng);
-    let test = training_corpus(&synth, 30, &panel, &mut rng);
-    println!("overall frame accuracy: {:.3}", det.frame_accuracy(&test));
+    let accuracy = {
+        let _span = thrubarrier_obs::span!("example.eval");
+        det.frame_accuracy(&test)
+    };
+    println!("overall frame accuracy: {accuracy:.3}");
     // Per-phoneme: fraction of frames predicted sensitive.
     let mut hit: HashMap<&str, (u32, u32)> = HashMap::new();
+    let selected_frames = thrubarrier_obs::counter!("example.frames.selected");
+    let total_frames = thrubarrier_obs::counter!("example.frames.total");
     for u in &test {
         let audio = u.utterance.audio.samples();
         let mask = det.sensitive_frames(audio, 16_000);
+        selected_frames.add(mask.iter().filter(|&&m| m).count() as u64);
+        total_frames.add(mask.len() as u64);
         let owners = frame_labels(&u.utterance, 400, 160, usize::MAX, |p| p.0);
         for (m, &owner) in mask.iter().zip(&owners) {
             if owner == usize::MAX {
@@ -58,4 +77,5 @@ fn main() {
             100.0 * sel as f32 / total as f32
         );
     }
+    print!("{}", thrubarrier_obs::render_text());
 }

@@ -1,4 +1,8 @@
 //! Diagnostic: prints the per-bin Q3 curves for a few phonemes.
+//!
+//! The selection run's timings (synthesis spans, vibration conversion,
+//! FFT-plan cache hit rates) are reported through the observability
+//! registry — build with `--features obs` to see them after the curves.
 
 use rand::{rngs::StdRng, SeedableRng};
 use thrubarrier_defense::selection::{run_selection, SelectionConfig};
@@ -6,13 +10,17 @@ use thrubarrier_phoneme::corpus::speaker_panel;
 use thrubarrier_vibration::Wearable;
 
 fn main() {
+    thrubarrier_obs::set_enabled(true);
     let mut rng = StdRng::seed_from_u64(1);
     let panel = speaker_panel(3, 3, &mut rng);
     let cfg = SelectionConfig {
         samples_per_phoneme: 12,
         ..Default::default()
     };
-    let sel = run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
+    let sel = {
+        let _span = thrubarrier_obs::span!("example.selection");
+        run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng)
+    };
     for sym in ["ih", "ey"] {
         let s = sel.stats_for(sym).unwrap();
         println!("--- {sym} ---");
@@ -23,4 +31,5 @@ fn main() {
             );
         }
     }
+    print!("{}", thrubarrier_obs::render_text());
 }

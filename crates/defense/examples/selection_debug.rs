@@ -1,4 +1,9 @@
 //! Diagnostic: prints per-phoneme Q3 extremes against the α threshold.
+//!
+//! Selection totals and the run's pipeline timings (synthesis,
+//! vibration conversion, STFT spans, FFT-plan cache hit rates) are
+//! reported through the observability registry — build with
+//! `--features obs` to see them after the per-phoneme table.
 
 use rand::{rngs::StdRng, SeedableRng};
 use thrubarrier_defense::selection::{run_selection, SelectionConfig};
@@ -6,21 +11,31 @@ use thrubarrier_phoneme::corpus::speaker_panel;
 use thrubarrier_vibration::Wearable;
 
 fn main() {
+    thrubarrier_obs::set_enabled(true);
     let mut rng = StdRng::seed_from_u64(1);
     let panel = speaker_panel(3, 3, &mut rng);
     let cfg = SelectionConfig {
         samples_per_phoneme: 12,
         ..Default::default()
     };
-    let sel = run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng);
+    let sel = {
+        let _span = thrubarrier_obs::span!("example.selection");
+        run_selection(&cfg, &Wearable::fossil_gen_5(), &panel, &mut rng)
+    };
     println!("alpha = {}", sel.alpha);
     println!(
         "{:<6} {:>12} {:>12}  c1 c2 sel",
         "sym", "max_adv", "min_user"
     );
+    let c1 = thrubarrier_obs::counter!("example.phonemes.criterion_1");
+    let c2 = thrubarrier_obs::counter!("example.phonemes.criterion_2");
+    let selected = thrubarrier_obs::counter!("example.phonemes.selected");
     for s in &sel.stats {
         let max_adv = s.q3_adv[2..31].iter().cloned().fold(f32::MIN, f32::max);
         let min_user = s.q3_user[2..31].iter().cloned().fold(f32::MAX, f32::min);
+        c1.add(u64::from(s.passes_criterion_1));
+        c2.add(u64::from(s.passes_criterion_2));
+        selected.add(u64::from(s.selected()));
         println!(
             "{:<6} {:>12.5} {:>12.5}  {} {} {}",
             s.symbol,
@@ -31,5 +46,5 @@ fn main() {
             s.selected() as u8
         );
     }
-    println!("selected: {}", sel.selected_ids().len());
+    print!("{}", thrubarrier_obs::render_text());
 }

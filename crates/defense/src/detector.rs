@@ -34,6 +34,7 @@ impl CorrelationDetector {
     /// they disagree in bin count — an attack cannot be ruled out
     /// without comparable evidence.
     pub fn score(&self, a: &Spectrogram, b: &Spectrogram) -> f32 {
+        let _span = thrubarrier_obs::span!("defense.correlate");
         match correlate::spectrogram_correlation(a, b) {
             Ok(r) => r.max(0.0),
             Err(_) => 0.0,

@@ -373,6 +373,7 @@ impl PhonemeDetector {
 impl SegmentSelector for PhonemeDetector {
     fn sensitive_frames(&self, audio: &[f32], _sample_rate: u32) -> Vec<bool> {
         let feats = self.mfcc.extract(audio);
+        let _span = thrubarrier_obs::span!("defense.classify");
         self.model
             .predict(&feats)
             .into_iter()
@@ -391,6 +392,7 @@ impl SegmentSelector for PhonemeDetector {
     /// are identical either way.
     fn sensitive_frames_batch(&self, recordings: &[&[f32]], _sample_rate: u32) -> Vec<Vec<bool>> {
         let feats: Vec<Vec<Vec<f32>>> = recordings.iter().map(|a| self.mfcc.extract(a)).collect();
+        let _span = thrubarrier_obs::span!("defense.classify");
         let labels = match &self.backend {
             Some(backend) => backend.classify_batch(feats),
             None => {

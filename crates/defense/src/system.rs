@@ -159,6 +159,7 @@ impl DefenseSystem {
         if va_recording.is_empty() || wearable_recording.is_empty() {
             return 0.0;
         }
+        let _span = thrubarrier_obs::span!("defense.score");
         let aligned_wearable = match self.align(va_recording, wearable_recording) {
             Some(aligned) => aligned,
             None => return 0.0,
@@ -177,7 +178,10 @@ impl DefenseSystem {
             ),
             DefenseMethod::Full => {
                 let fs = va_recording.sample_rate();
-                let mask = self.selector.sensitive_frames(va_recording.samples(), fs);
+                let mask = {
+                    let _span = thrubarrier_obs::span!("defense.segmentation");
+                    self.selector.sensitive_frames(va_recording.samples(), fs)
+                };
                 self.masked_vibration_score(va_recording, &aligned_wearable, &mask, rng)
             }
         }
@@ -198,6 +202,7 @@ impl DefenseSystem {
         if va_recording.is_empty() || wearable_recording.is_empty() {
             return 0.0;
         }
+        let _span = thrubarrier_obs::span!("defense.score");
         let aligned_wearable = match self.align(va_recording, wearable_recording) {
             Some(aligned) => aligned,
             None => return 0.0,
@@ -213,6 +218,7 @@ impl DefenseSystem {
         wearable_recording: &AudioBuffer,
     ) -> Option<AudioBuffer> {
         if self.synchronize {
+            let _span = thrubarrier_obs::span!("defense.sync");
             sync::synchronize(va_recording, wearable_recording, self.max_sync_delay_s)
                 .ok()
                 .map(|(aligned, _delay)| aligned)
@@ -267,6 +273,7 @@ impl DefenseSystem {
             let g = Self::REPLAY_RMS / rms;
             sig.iter().map(|&x| x * g).collect()
         };
+        let _span = thrubarrier_obs::span!("defense.vibration_score");
         let va_replay = normalize(va_audio);
         let w_replay = normalize(wearable_audio);
         let vib_va = self.wearable.convert(&va_replay, sample_rate, rng);

@@ -31,6 +31,7 @@ pub fn cross_correlate(a: &[f32], b: &[f32]) -> Result<Vec<f32>, DspError> {
     if b.is_empty() {
         return Err(DspError::EmptyInput("cross_correlate rhs"));
     }
+    let _span = thrubarrier_obs::span!("dsp.cross_correlate");
     let out_len = a.len() + b.len() - 1;
     let n = fft::next_pow2(out_len);
     // Both inputs are real, so only the non-negative half spectra are
@@ -149,6 +150,7 @@ pub fn correlation_2d(a: &[Vec<f32>], b: &[Vec<f32>]) -> Result<f32, DspError> {
 /// Returns [`DspError::DimensionMismatch`] if the spectrograms have
 /// different bin counts.
 pub fn spectrogram_correlation(a: &Spectrogram, b: &Spectrogram) -> Result<f32, DspError> {
+    let _span = thrubarrier_obs::span!("dsp.correlation_2d");
     let frames = a.frames().min(b.frames());
     if frames == 0 {
         return Ok(0.0);

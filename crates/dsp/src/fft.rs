@@ -190,8 +190,10 @@ pub fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
     let plan = PLANS.with(|cache| {
         let mut cache = cache.borrow_mut();
         if let Some(p) = cache.get(&n) {
+            thrubarrier_obs::counter!("dsp.fft_plan.hit").incr();
             Rc::clone(p)
         } else {
+            thrubarrier_obs::counter!("dsp.fft_plan.miss").incr();
             let p = Rc::new(FftPlan::new(n).expect("with_plan size must be a power of two"));
             cache.insert(n, Rc::clone(&p));
             p

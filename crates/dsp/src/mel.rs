@@ -223,6 +223,7 @@ impl MfccExtractor {
 
     /// Extracts MFCCs: one `n_coeffs`-vector per frame.
     pub fn extract(&self, signal: &[f32]) -> Vec<Vec<f32>> {
+        let _span = thrubarrier_obs::span!("dsp.mfcc");
         let frames = self.frame_count(signal.len());
         let window = WindowKind::Hamming.coefficients(self.frame_len);
         let half = self.n_fft / 2 + 1;

@@ -90,6 +90,7 @@ impl Stft {
     /// transformed with the planned real-input FFT. Values land in the
     /// same flat row-major layout the real spectrograms use.
     pub fn complex_spectrogram(&self, signal: &[f32]) -> ComplexSpectrogram {
+        let _span = thrubarrier_obs::span!("dsp.stft.complex");
         let frames = self.frame_count(signal.len());
         let bins = if frames == 0 { 0 } else { self.n_fft / 2 + 1 };
         let coeffs = self.window.coefficients(self.window_len);
@@ -121,6 +122,7 @@ impl Stft {
         sample_rate: u32,
         to_value: impl Fn(Complex) -> f32,
     ) -> Spectrogram {
+        let _span = thrubarrier_obs::span!("dsp.stft.real");
         let frames = self.frame_count(signal.len());
         let bins = if frames == 0 { 0 } else { self.n_fft / 2 + 1 };
         let coeffs = self.window.coefficients(self.window_len);

@@ -197,6 +197,88 @@ mod tests {
     }
 
     #[test]
+    fn single_score_populations_produce_a_full_sweep() {
+        // The smallest legal input: one score per class. The sweep is
+        // still 101 points, monotone, and separable inputs stay perfect.
+        let roc = RocCurve::from_scores(&[0.9], &[0.1]);
+        assert_eq!(roc.points.len(), 101);
+        for w in roc.points.windows(2) {
+            assert!(w[1].tdr >= w[0].tdr);
+            assert!(w[1].fdr >= w[0].fdr);
+        }
+        assert!((roc.auc() - 1.0).abs() < 1e-3, "auc {}", roc.auc());
+        assert!(roc.eer() < 0.01, "eer {}", roc.eer());
+    }
+
+    #[test]
+    fn all_tied_scores_give_chance_performance() {
+        // Every sample in both classes has the same score: the curve
+        // degenerates to two operating points ((0,0) before the tie,
+        // (1,1) after) and no threshold separates anything.
+        let tied = vec![0.5; 8];
+        let roc = RocCurve::from_scores(&tied, &tied);
+        for p in &roc.points {
+            assert_eq!(p.tdr, p.fdr, "tied classes must move together");
+        }
+        assert!((roc.auc() - 0.5).abs() < 0.02, "auc {}", roc.auc());
+        assert!((roc.eer() - 0.5).abs() < 0.02, "eer {}", roc.eer());
+    }
+
+    #[test]
+    fn eer_and_threshold_agree_on_degenerate_curves() {
+        // On curves with ties and single points, `eer()` and
+        // `eer_threshold()` must pick the same operating point: the gap
+        // |FDR - (1 - TDR)| evaluated at the returned threshold equals
+        // the gap implied by the returned EER.
+        for (legit, attack) in [
+            (vec![0.5f32; 4], vec![0.5f32; 4]),
+            (vec![0.9], vec![0.1]),
+            (vec![0.0, 0.0], vec![1.0, 1.0]),
+        ] {
+            let roc = RocCurve::from_scores(&legit, &attack);
+            let thr = roc.eer_threshold();
+            let at = roc
+                .points
+                .iter()
+                .min_by(|a, b| {
+                    let ga = (a.fdr - (1.0 - a.tdr)).abs();
+                    let gb = (b.fdr - (1.0 - b.tdr)).abs();
+                    ga.partial_cmp(&gb).unwrap()
+                })
+                .unwrap();
+            let point_at_thr = roc
+                .points
+                .iter()
+                .find(|p| (p.threshold - thr).abs() < 1e-6)
+                .expect("eer_threshold returns a sweep point");
+            let gap_at_thr = (point_at_thr.fdr - (1.0 - point_at_thr.tdr)).abs();
+            let best_gap = (at.fdr - (1.0 - at.tdr)).abs();
+            assert!(
+                (gap_at_thr - best_gap).abs() < 1e-6,
+                "threshold {thr} gap {gap_at_thr} vs best {best_gap}"
+            );
+            let eer = roc.eer();
+            let eer_at_thr = (point_at_thr.fdr + (1.0 - point_at_thr.tdr)) / 2.0;
+            assert!(
+                (eer - eer_at_thr).abs() < 1e-6,
+                "eer {eer} disagrees with the point at its threshold ({eer_at_thr})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "roc needs both populations")]
+    fn empty_attack_population_panics() {
+        RocCurve::from_scores(&[0.5], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "roc needs both populations")]
+    fn both_populations_empty_panics() {
+        RocCurve::from_scores(&[], &[]);
+    }
+
+    #[test]
     fn scores_at_one_are_never_flagged_below_max_threshold() {
         // A perfect score of 1.0 is flagged only at threshold > 1.0,
         // which the sweep never reaches.

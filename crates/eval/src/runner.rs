@@ -6,7 +6,7 @@ use crate::scenario::{Trial, TrialGenerator, TrialSettings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 use thrubarrier_attack::AttackKind;
 use thrubarrier_defense::segmentation::{
     DetectorTrainConfig, EnergySelector, PhonemeDetector, SegmentSelector,
@@ -161,12 +161,20 @@ enum TrialPlan {
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: RunnerConfig,
+    /// Shared rendition memo. Entries are pure functions of
+    /// `(config.seed, user, command)`, so the cache lives with the
+    /// runner and persists across [`Runner::run_with_selector`] calls
+    /// (and across clones) instead of being rebuilt per run.
+    utterances: Arc<UtteranceCache>,
 }
 
 impl Runner {
     /// Creates a runner.
     pub fn new(config: RunnerConfig) -> Self {
-        Runner { config }
+        Runner {
+            config,
+            utterances: Arc::new(UtteranceCache::default()),
+        }
     }
 
     /// Builds the segment selector for the full method (trains the BRNN
@@ -235,14 +243,16 @@ impl Runner {
         };
         let system = DefenseSystem::with_selector(Wearable::fossil_gen_5(), selector);
         let chunks: Vec<Vec<TrialPlan>> = split_round_robin(&plans, n_threads);
-        let utterances = UtteranceCache::default();
+        let utterances = &*self.utterances;
         let results: Vec<Vec<(TrialPlan, [f32; 3])>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
-                .map(|chunk| {
+                .enumerate()
+                .map(|(worker, chunk)| {
                     let system = &system;
                     let utterances = &utterances;
                     scope.spawn(move || {
+                        thrubarrier_obs::label_thread(&format!("worker-{worker}"));
                         let generator = TrialGenerator::new();
                         let bank = CommandBank::standard();
                         let mut out = Vec::with_capacity(chunk.len());
@@ -250,10 +260,15 @@ impl Runner {
                         // sensitive-frame masks come from one batched BRNN
                         // pass, then each trial reuses its precomputed mask.
                         for group in chunk.chunks(cfg.batch_size.max(1)) {
-                            let trials: Vec<(Trial, u64)> = group
-                                .iter()
-                                .map(|plan| build_trial(plan, cfg, &generator, &bank, utterances))
-                                .collect();
+                            let trials: Vec<(Trial, u64)> = {
+                                let _span = thrubarrier_obs::span!("eval.build_trials");
+                                group
+                                    .iter()
+                                    .map(|plan| {
+                                        build_trial(plan, cfg, &generator, &bank, utterances)
+                                    })
+                                    .collect()
+                            };
                             let recordings: Vec<&[f32]> = trials
                                 .iter()
                                 .map(|(t, _)| t.va_recording.samples())
@@ -264,6 +279,7 @@ impl Runner {
                             for ((plan, (trial, seed)), mask) in
                                 group.iter().zip(&trials).zip(&masks)
                             {
+                                let _span = thrubarrier_obs::span!("eval.trial");
                                 let scores = score_trial_with_mask(trial, *seed, system, mask);
                                 out.push((plan.clone(), scores));
                             }
@@ -385,7 +401,7 @@ fn utterance_seed(master_seed: u64, user: usize, command: usize) -> u64 {
 /// does not matter whose [`Arc`] wins. The legitimate speaker panel is
 /// derived once into a [`OnceLock`] rather than re-deriving profiles per
 /// lookup.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct UtteranceCache {
     panel: OnceLock<Vec<SpeakerProfile>>,
     map: RwLock<RenditionMap>,
@@ -404,9 +420,20 @@ impl UtteranceCache {
         command: usize,
     ) -> Arc<Vec<f32>> {
         let key = (user, command % bank.len());
-        if let Some(hit) = self.map.read().expect("cache lock poisoned").get(&key) {
+        // Lock poisoning is recovered from rather than propagated: every
+        // entry is a pure function of its key, so a map abandoned by a
+        // panicking worker is still structurally sound and at worst
+        // missing entries the losers of an insert race will resynthesize.
+        if let Some(hit) = self
+            .map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            thrubarrier_obs::counter!("eval.utterance_cache.hit").incr();
             return Arc::clone(hit);
         }
+        thrubarrier_obs::counter!("eval.utterance_cache.miss").incr();
         let panel = self.panel.get_or_init(|| {
             (0..cfg.participants)
                 .map(|i| participant(cfg.seed, i))
@@ -415,7 +442,7 @@ impl UtteranceCache {
         let cmd = &bank.commands()[key.1];
         let mut rng = StdRng::seed_from_u64(utterance_seed(cfg.seed, user, key.1));
         let audio = Arc::new(generator.utterance_audio(cmd, &panel[user], &mut rng));
-        let mut map = self.map.write().expect("cache lock poisoned");
+        let mut map = self.map.write().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(map.entry(key).or_insert(audio))
     }
 }

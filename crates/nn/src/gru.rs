@@ -229,7 +229,10 @@ impl Gru {
         let gr = 3 * self.hidden_size;
         let total = pack.total_rows();
         let key = (self.w.version(), self.b.version());
-        if dir.proj_key != Some(key) {
+        if dir.proj_key == Some(key) {
+            thrubarrier_obs::counter!("nn.proj_cache.hit").incr();
+        } else {
+            thrubarrier_obs::counter!("nn.proj_cache.miss").incr();
             dir.proj.clear();
             dir.proj.resize(total * gr, 0.0);
             self.w

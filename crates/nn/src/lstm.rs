@@ -400,8 +400,10 @@ impl Lstm {
         let gr = 4 * self.hidden_size;
         let key = (self.w.version(), self.b.version());
         if dir.proj_key == Some(key) {
+            thrubarrier_obs::counter!("nn.proj_cache.hit").incr();
             return;
         }
+        thrubarrier_obs::counter!("nn.proj_cache.miss").incr();
         let total = pack.total_rows();
         dir.proj.clear();
         dir.proj.resize(total * gr, 0.0);

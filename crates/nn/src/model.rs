@@ -81,6 +81,7 @@ impl BrnnClassifier {
     /// [`GemmScratch`] — the per-verification hot path of the online
     /// detector.
     pub fn logits_with_scratch(&self, xs: &[Vec<f32>], scratch: &mut GemmScratch) -> Vec<Vec<f32>> {
+        let _span = thrubarrier_obs::span!("nn.predict");
         let hs = self.rnn.hidden_states_with_scratch(xs, scratch);
         hs.iter().map(|h| self.head.apply(h)).collect()
     }
@@ -142,6 +143,7 @@ impl BrnnClassifier {
         if batch.is_empty() {
             return 0.0;
         }
+        let _span = thrubarrier_obs::span!("nn.train_step");
         for (xs, ys) in batch {
             assert_eq!(xs.len(), ys.len(), "sequence/label length mismatch");
         }
@@ -306,6 +308,7 @@ impl BrnnClassifier {
         scratch: &mut GemmScratch,
         logits: &mut Vec<f32>,
     ) -> Vec<Vec<usize>> {
+        let _span = thrubarrier_obs::span!("nn.predict_batch");
         self.rnn.hidden_states_batch_flat(seqs, ws, scratch);
         let nc = self.head.output_size();
         let pack = &ws.pack;

@@ -53,6 +53,7 @@ pub const DEFAULT_MAX_BATCH: usize = 64;
 struct Request {
     seq: Vec<Vec<f32>>,
     reply: Sender<Vec<usize>>,
+    latency: thrubarrier_obs::Timer,
 }
 
 /// Owning handle for the shared scoring engine thread.
@@ -126,8 +127,13 @@ impl ScoreClient {
     /// panicked).
     pub fn submit(&self, seq: Vec<Vec<f32>>) -> PendingScore {
         let (reply, rx) = mpsc::channel();
+        thrubarrier_obs::gauge!("nn.score.queue_depth").incr();
         self.tx
-            .send(Request { seq, reply })
+            .send(Request {
+                seq,
+                reply,
+                latency: thrubarrier_obs::Timer::start(),
+            })
             .expect("scoring engine is running");
         PendingScore { rx }
     }
@@ -169,6 +175,7 @@ impl PendingScore {
 /// up to `max_batch`, score the coalesced pack once, reply, repeat.
 /// Exits when every sender is gone.
 fn engine_loop(model: &BrnnClassifier, rx: &Receiver<Request>, max_batch: usize) {
+    thrubarrier_obs::label_thread("score-engine");
     let mut ws = BatchWorkspace::new();
     let mut scratch = GemmScratch::new();
     let mut logits = Vec::new();
@@ -184,9 +191,14 @@ fn engine_loop(model: &BrnnClassifier, rx: &Receiver<Request>, max_batch: usize)
                 Err(_) => break,
             }
         }
+        let _span = thrubarrier_obs::span!("nn.score.drain");
+        thrubarrier_obs::gauge!("nn.score.queue_depth").add(-(pending.len() as i64));
+        thrubarrier_obs::histogram!("nn.score.batch_size").record(pending.len() as u64);
         let seqs: Vec<&[Vec<f32>]> = pending.iter().map(|r| r.seq.as_slice()).collect();
         let labels = model.predict_batch_into(&seqs, &mut ws, &mut scratch, &mut logits);
+        let latency = thrubarrier_obs::histogram!("nn.score.request_latency_ns");
         for (req, out) in pending.drain(..).zip(labels) {
+            req.latency.observe(latency);
             // A submitter that dropped its ticket just discards the
             // reply; that is not an engine error.
             let _ = req.reply.send(out);

@@ -1,0 +1,113 @@
+//! The global metric registry.
+//!
+//! Registration interns each name once behind a short mutex and leaks
+//! the metric, so call sites hold `&'static` handles and the hot path
+//! never touches the registry again — recording is pure atomics.
+
+use super::metrics::{Counter, Gauge, Histogram};
+use super::span::SpanStat;
+use std::sync::{Mutex, OnceLock};
+
+/// One name → leaked-metric table. Linear search: the workspace
+/// registers a few dozen metrics, each exactly once per process.
+#[derive(Debug, Default)]
+struct Table<T: 'static> {
+    entries: Mutex<Vec<(&'static str, &'static T)>>,
+}
+
+impl<T: Default> Table<T> {
+    fn intern(&self, name: &'static str) -> &'static T {
+        let mut entries = self.entries.lock().expect("obs registry poisoned");
+        if let Some(&(_, hit)) = entries.iter().find(|(n, _)| *n == name) {
+            return hit;
+        }
+        let leaked: &'static T = Box::leak(Box::default());
+        entries.push((name, leaked));
+        leaked
+    }
+
+    /// Name-sorted snapshot of the registered entries.
+    fn sorted(&self) -> Vec<(&'static str, &'static T)> {
+        let mut out = self.entries.lock().expect("obs registry poisoned").clone();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+}
+
+// `Clone` for the snapshot; derive needs `T: Clone` otherwise.
+impl<T> Table<T> {
+    fn with_each(&self, mut f: impl FnMut(&'static T)) {
+        for &(_, m) in self.entries.lock().expect("obs registry poisoned").iter() {
+            f(m);
+        }
+    }
+}
+
+/// The process-wide registry behind [`registry`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Table<Counter>,
+    gauges: Table<Gauge>,
+    histograms: Table<Histogram>,
+    spans: Table<SpanStat>,
+}
+
+impl Registry {
+    /// The counter registered under `name` (registered on first call).
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        self.counters.intern(name)
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        self.gauges.intern(name)
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        self.histograms.intern(name)
+    }
+
+    /// The span statistic registered under `name`.
+    pub fn span(&self, name: &'static str) -> &'static SpanStat {
+        let stat = self.spans.intern(name);
+        stat.set_name(name);
+        stat
+    }
+
+    /// Name-sorted counters.
+    pub fn counters(&self) -> Vec<(&'static str, &'static Counter)> {
+        self.counters.sorted()
+    }
+
+    /// Name-sorted gauges.
+    pub fn gauges(&self) -> Vec<(&'static str, &'static Gauge)> {
+        self.gauges.sorted()
+    }
+
+    /// Name-sorted histograms.
+    pub fn histograms(&self) -> Vec<(&'static str, &'static Histogram)> {
+        self.histograms.sorted()
+    }
+
+    /// Name-sorted span statistics.
+    pub fn spans(&self) -> Vec<(&'static str, &'static SpanStat)> {
+        self.spans.sorted()
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Zeroes every registered metric (names stay registered). Exporters
+/// call this to scope a snapshot to one measured run.
+pub fn reset() {
+    let r = registry();
+    r.counters.with_each(Counter::reset);
+    r.gauges.with_each(Gauge::reset);
+    r.histograms.with_each(Histogram::reset);
+    r.spans.with_each(SpanStat::reset);
+}

@@ -239,6 +239,7 @@ impl Synthesizer {
         speaker: &SpeakerProfile,
         rng: &mut R,
     ) -> Utterance {
+        let _span = thrubarrier_obs::span!("phoneme.synthesize");
         let fs = self.sample_rate;
         // Realistic end-pointing: VA recordings include generous leading
         // and trailing silence around the command.

@@ -95,6 +95,7 @@ impl Wearable {
         sample_rate: u32,
         rng: &mut R,
     ) -> AudioBuffer {
+        let _span = thrubarrier_obs::span!("vibration.convert");
         let played = self.speaker.play(recording, sample_rate);
         let mut vib = self.accelerometer.capture(&played, sample_rate, rng);
         if let Some(motion) = &self.body_motion {
