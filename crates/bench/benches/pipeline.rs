@@ -32,6 +32,39 @@ fn bench_dsp_primitives(c: &mut Criterion) {
         delayed.extend_from_slice(&reference);
         b.iter(|| correlate::estimate_delay(black_box(&reference), black_box(&delayed), 4_000))
     });
+    // The correlation engine's individual paths at the 1 s sync shape,
+    // so a crossover retune can be judged against measured figures.
+    let mut rng = StdRng::seed_from_u64(1);
+    let reference = gen::gaussian_noise(&mut rng, 0.1, 16_000);
+    let mut delayed = vec![0.0f32; 1_600];
+    delayed.extend_from_slice(&reference);
+    group.bench_function("xcorr_1s_fft", |b| {
+        b.iter(|| {
+            correlate::cross_correlate_with(
+                black_box(&reference),
+                black_box(&delayed),
+                correlate::XcorrPath::Fft,
+            )
+        })
+    });
+    for (name, search) in [
+        ("estimate_delay_1s_fft", correlate::LagSearch::Fft),
+        (
+            "estimate_delay_1s_coarse_fine",
+            correlate::LagSearch::CoarseToFine,
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                correlate::estimate_delay_with(
+                    black_box(&reference),
+                    black_box(&delayed),
+                    4_000,
+                    search,
+                )
+            })
+        });
+    }
     group.finish();
 }
 

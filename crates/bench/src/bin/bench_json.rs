@@ -112,6 +112,98 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         }),
     );
 
+    // The correlation engine's stages at the cross-device sync shape
+    // (1 s reference against a 1.1 s delayed copy, max lag 0.25 s):
+    // `xcorr_1s` is the full-correlation auto path (FFT at this size),
+    // `estimate_delay_1s` pins the exact bounded-FFT search the engine
+    // picks for this shape (pinned so the figure keeps naming one path
+    // even if auto crossovers are retuned), `estimate_delay_1s_coarse`
+    // tracks the opt-in approximate coarse-to-fine path, and the
+    // `*_time` stages are the exact time-domain oracles the speedups
+    // are claimed against. The oracles cost ~10^8 multiply-adds per
+    // call, so they run on a reduced iteration budget.
+    out.insert(
+        "xcorr_1s",
+        median_ns(iters, || {
+            black_box(
+                correlate::cross_correlate(black_box(&reference), black_box(&delayed)).unwrap(),
+            );
+        }),
+    );
+    out.insert(
+        "xcorr_1s_time",
+        median_ns(iters.min(5), || {
+            black_box(correlate::cross_correlate_time(
+                black_box(&reference),
+                black_box(&delayed),
+            ));
+        }),
+    );
+    out.insert(
+        "estimate_delay_1s",
+        median_ns(iters, || {
+            black_box(
+                correlate::estimate_delay_with(
+                    black_box(&reference),
+                    black_box(&delayed),
+                    4_000,
+                    correlate::LagSearch::Fft,
+                )
+                .unwrap(),
+            );
+        }),
+    );
+    out.insert(
+        "estimate_delay_1s_coarse",
+        median_ns(iters, || {
+            black_box(
+                correlate::estimate_delay_with(
+                    black_box(&reference),
+                    black_box(&delayed),
+                    4_000,
+                    correlate::LagSearch::CoarseToFine,
+                )
+                .unwrap(),
+            );
+        }),
+    );
+    out.insert(
+        "estimate_delay_1s_time",
+        median_ns(iters.min(5), || {
+            black_box(
+                correlate::estimate_delay_with(
+                    black_box(&reference),
+                    black_box(&delayed),
+                    4_000,
+                    correlate::LagSearch::TimeDomain,
+                )
+                .unwrap(),
+            );
+        }),
+    );
+
+    // Parity guard: at the 1 s shape the engine's frequency-domain paths
+    // must never lose to the exact time-domain oracles on the bench
+    // host. Asserted so a path-selection regression fails the bench run
+    // instead of silently recording a bad snapshot. The stage value is
+    // the full-correlation speedup in thousandths (unitless — the one
+    // stage in this file that is not a nanosecond median).
+    let (fft_ns, time_ns) = (out["xcorr_1s"], out["xcorr_1s_time"]);
+    assert!(
+        fft_ns <= time_ns,
+        "xcorr_parity: FFT path {fft_ns} ns slower than time-domain {time_ns} ns at 1 s inputs"
+    );
+    assert!(
+        out["estimate_delay_1s"] <= out["estimate_delay_1s_time"],
+        "xcorr_parity: coarse-to-fine {} ns slower than exhaustive {} ns at 1 s inputs",
+        out["estimate_delay_1s"],
+        out["estimate_delay_1s_time"]
+    );
+    out.insert(
+        "xcorr_parity_speedup_x1000",
+        time_ns * 1_000 / fft_ns.max(1),
+    );
+
     let wearable = Wearable::fossil_gen_5();
     let long_speech = gen::chirp(150.0, 3_000.0, 0.1, 16_000, 2.0);
     out.insert(

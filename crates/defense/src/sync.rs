@@ -50,18 +50,16 @@ pub fn synchronize(
     let max_lag = (max_delay_s * va.sample_rate() as f32).round() as usize;
     // The wearable misses the beginning, i.e. its content is the VA's
     // shifted *earlier*; estimate the delay of the VA signal relative to
-    // the wearable signal.
+    // the wearable signal. The engine searches only the ±max_lag window
+    // (exact bounded-FFT correlation on recordings this long — attack
+    // trials have flat correlation surfaces, so the approximate
+    // coarse-to-fine search would shift downstream scores).
     let delay = correlate::estimate_delay(wearable.samples(), va.samples(), max_lag)?;
-    let aligned = correlate::align_by_delay(va.samples(), delay);
-    // Align VA to wearable timeline? No: we keep the VA recording
-    // authoritative and trim it so both start at the same instant, then
-    // trim both to the common length.
-    let n = aligned.len().min(wearable.len());
-    let aligned_va = AudioBuffer::new(aligned[..n].to_vec(), va.sample_rate());
-    let _ = aligned_va;
-    // Return the wearable aligned to the VA instead (both conventions
-    // are equivalent; the detector only needs a common timeline). We
-    // prepend the estimated missing samples as silence.
+    // Invariant: the VA recording is authoritative — its timeline is
+    // never shifted. The wearable recording is moved onto it (the
+    // estimated missing prefix becomes silence when `delay > 0`) and
+    // then trimmed to the VA's length, so both outputs share the VA's
+    // start instant and a common length.
     let wearable_aligned = correlate::align_by_delay(wearable.samples(), -delay);
     let m = wearable_aligned.len().min(va.len());
     Ok((

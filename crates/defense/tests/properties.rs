@@ -97,3 +97,44 @@ proptest! {
         prop_assert_eq!(mask.len(), expected);
     }
 }
+
+// The exhaustive time-domain oracle below is O(window x overlap); fewer
+// cases keep the debug-mode test run bounded while still sweeping the
+// delay envelope at both rates.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Across the whole `NETWORK_DELAY_RANGE_S` envelope, at both common
+    /// capture rates, the coarse-to-fine lag search lands on the same lag
+    /// as the exhaustive bounded time-domain search.
+    #[test]
+    fn coarse_to_fine_matches_exhaustive_across_delay_envelope(
+        delay_frac in 0.0f32..1.0,
+        fs in prop::sample::select(vec![16_000u32, 48_000]),
+        seed in 0u64..30,
+    ) {
+        use thrubarrier_dsp::correlate::{estimate_delay_with, LagSearch};
+        let delay_s = sync::NETWORK_DELAY_RANGE_S.0
+            + delay_frac * (sync::NETWORK_DELAY_RANGE_S.1 - sync::NETWORK_DELAY_RANGE_S.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // 0.5 s of amplitude-modulated noise: long enough to cover the
+        // largest envelope delay (0.18 s) with a sharp correlation peak,
+        // short enough that the exhaustive oracle stays cheap.
+        let mut source = gen::gaussian_noise(&mut rng, 0.1, fs as usize / 2);
+        for (i, v) in source.iter_mut().enumerate() {
+            *v *= 0.4 + 0.6 * (i as f32 * 16_000.0 / (900.0 * fs as f32)).sin().abs();
+        }
+        let va = AudioBuffer::new(source, fs);
+        let delayed = sync::apply_trigger_delay(&va, delay_s);
+        let max_lag = (0.2 * fs as f32).round() as usize;
+        let exhaustive = estimate_delay_with(
+            delayed.samples(), va.samples(), max_lag, LagSearch::TimeDomain,
+        ).unwrap();
+        let coarse = estimate_delay_with(
+            delayed.samples(), va.samples(), max_lag, LagSearch::CoarseToFine,
+        ).unwrap();
+        prop_assert_eq!(coarse, exhaustive, "fs {} delay {}s", fs, delay_s);
+        let expected = (delay_s * fs as f32).round() as isize;
+        prop_assert!((coarse - expected).abs() <= 2, "est {} expected {}", coarse, expected);
+    }
+}

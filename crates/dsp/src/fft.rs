@@ -185,8 +185,16 @@ struct Scratch {
 /// # Panics
 ///
 /// Panics if `n` is not a power of two; use [`FftPlan::new`] directly for
-/// fallible construction.
+/// fallible construction. Callers with arbitrary work sizes must round
+/// up via [`next_pow2`] *before* reaching this function — every
+/// workspace hot path (the STFT, the correlation engine, the
+/// frequency-domain filters) does exactly that, so the panic is a
+/// programming-error guard, not a reachable input condition.
 pub fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    debug_assert!(
+        n.is_power_of_two(),
+        "with_plan({n}): size must be rounded up via next_pow2 by the caller"
+    );
     let plan = PLANS.with(|cache| {
         let mut cache = cache.borrow_mut();
         if let Some(p) = cache.get(&n) {

@@ -15,8 +15,10 @@
 //! * sample-rate conversion with *and without* anti-aliasing ([`resample`] —
 //!   the "without" path models the aliasing behaviour of wearable
 //!   accelerometers),
-//! * FFT cross-correlation, delay estimation and the 2-D Pearson
-//!   correlation used by the paper's attack detector ([`correlate`]),
+//! * a cross-correlation engine with size-selected time-domain / FFT /
+//!   overlap-save paths, bounded-lag coarse-to-fine delay estimation,
+//!   and the 2-D Pearson correlation used by the paper's attack
+//!   detector ([`correlate`]),
 //! * descriptive statistics including the third-quartile estimator used by
 //!   the phoneme-selection criteria ([`stats`]),
 //! * deterministic signal generators (tones, chirps, Gaussian noise)

@@ -143,6 +143,88 @@ proptest! {
         }
     }
 
+    /// The FFT path of the full correlation is a tolerance-gated drop-in
+    /// for the exact time-domain oracle on mixed lengths, including the
+    /// degenerate N=1 and strongly asymmetric N>>M shapes.
+    #[test]
+    fn fft_cross_correlation_matches_time_domain_oracle(
+        a in prop::collection::vec(-1.0f32..1.0, 1..400),
+        b_len in prop::sample::select(vec![1usize, 2, 7, 63, 64, 350]),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Vec<f32> = (0..b_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let oracle = correlate::cross_correlate_time(&a, &b);
+        for path in [correlate::XcorrPath::Fft, correlate::XcorrPath::OverlapSave] {
+            let fast = correlate::cross_correlate_with(&a, &b, path).unwrap();
+            prop_assert_eq!(fast.len(), oracle.len());
+            let scale = oracle.iter().fold(1.0f32, |m, &v| m.max(v.abs()));
+            for (i, (f, r)) in fast.iter().zip(&oracle).enumerate() {
+                prop_assert!(
+                    (f - r).abs() / scale < 1e-4,
+                    "{:?} sample {}: {} vs {}", path, i, f, r
+                );
+            }
+        }
+    }
+
+    /// Every bounded-lag search path recovers a genuinely embedded delay
+    /// exactly; the auto path must match whichever it picked.
+    #[test]
+    fn bounded_lag_paths_agree_on_embedded_delay(
+        lag in 0usize..500,
+        len in 600usize..2_000,
+        max_lag in 500usize..700,
+        seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reference = thrubarrier_dsp::gen::gaussian_noise(&mut rng, 1.0, len);
+        let mut delayed = vec![0.0f32; lag];
+        delayed.extend_from_slice(&reference);
+        for search in [
+            correlate::LagSearch::Auto,
+            correlate::LagSearch::TimeDomain,
+            correlate::LagSearch::Fft,
+            correlate::LagSearch::CoarseToFine,
+        ] {
+            let est =
+                correlate::estimate_delay_with(&reference, &delayed, max_lag, search).unwrap();
+            prop_assert_eq!(est, lag as isize, "{:?}", search);
+        }
+    }
+
+    /// On arbitrary (not necessarily peaked) signal pairs the FFT window
+    /// agrees with the exhaustive time-domain window: same argmax unless
+    /// the surface is near-tied at f32 tolerance, in which case the two
+    /// winners' correlation values must be indistinguishable.
+    #[test]
+    fn bounded_lag_fft_matches_exhaustive_on_arbitrary_pairs(
+        a in prop::collection::vec(-1.0f32..1.0, 1..300),
+        b in prop::collection::vec(-1.0f32..1.0, 1..300),
+        max_lag in 0usize..400,
+    ) {
+        let exact =
+            correlate::estimate_delay_with(&b, &a, max_lag, correlate::LagSearch::TimeDomain)
+                .unwrap();
+        let fft =
+            correlate::estimate_delay_with(&b, &a, max_lag, correlate::LagSearch::Fft).unwrap();
+        if exact != fft {
+            // Tolerance gate: both winning lags carry the same score up
+            // to transform rounding.
+            let full = correlate::cross_correlate_time(&a, &b);
+            let zero = b.len() as isize - 1;
+            let v_exact = full[(zero + exact) as usize];
+            let v_fft = full[(zero + fft) as usize];
+            let scale = full.iter().fold(1.0f32, |m, &v| m.max(v.abs()));
+            prop_assert!(
+                (v_exact - v_fft).abs() / scale < 1e-3,
+                "argmax moved {} -> {} with gap {} vs {}", exact, fft, v_exact, v_fft
+            );
+        }
+    }
+
     #[test]
     fn align_by_delay_inverts_prepended_zeros(sig in signal_strategy(128), lag in 0usize..32) {
         let mut delayed = vec![0.0f32; lag];

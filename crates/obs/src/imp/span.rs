@@ -259,7 +259,15 @@ impl Drop for SpanGuard {
             TRACE_BUF.with(|b| {
                 let buf = &mut *b.borrow_mut();
                 buf.events.push(event);
-                if buf.events.len() >= TraceBuf::FLUSH_AT {
+                // Flush on batch size, and whenever this thread's
+                // outermost span closes: scoped threads
+                // (`std::thread::scope`) signal completion when their
+                // closure returns, *before* TLS destructors run, so the
+                // `TraceBuf` drop flush alone can lose a worker's tail
+                // events to a `finish_trace` racing the thread's exit.
+                if buf.events.len() >= TraceBuf::FLUSH_AT
+                    || SPAN_STACK.with(|s| s.borrow().is_empty())
+                {
                     flush_into_sink(&mut buf.events);
                 }
             });

@@ -94,8 +94,38 @@ pub mod test_runner {
     }
 }
 
+/// Choosing among explicit values (mirror of `proptest::sample`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of options; see
+    /// [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Picks one of `options` uniformly at random for each case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+}
+
 /// Namespaced strategy constructors (mirror of `proptest::prop`).
 pub mod prop {
+    pub use crate::sample;
+
     /// Collection strategies.
     pub mod collection {
         use crate::strategy::{SizeRange, Strategy, VecStrategy};
@@ -216,6 +246,13 @@ mod tests {
         fn macro_samples_within_ranges(x in -2.0f32..2.0, n in 1usize..9) {
             prop_assert!((-2.0..2.0).contains(&x));
             prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn select_strategy_only_yields_listed_options(
+            fs in prop::sample::select(vec![8_000u32, 16_000, 48_000]),
+        ) {
+            prop_assert!([8_000, 16_000, 48_000].contains(&fs));
         }
 
         #[test]
