@@ -76,6 +76,34 @@ fn bench_cross_domain(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| wearable.convert(black_box(&speech), 16_000, &mut rng))
     });
+    // The conversion engine's fused path against the staged oracle at
+    // the 1 s verification shape, plus the defense's pair-conversion
+    // scoring call — mirrors the `vibration_*` stages in bench_json.
+    let one_sec = gen::chirp(150.0, 3_000.0, 1.0, 16_000, 1.0);
+    group.bench_function("convert_1s_fused", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| wearable.convert(black_box(&one_sec), 16_000, &mut rng))
+    });
+    group.bench_function("convert_1s_staged", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| wearable.convert_staged(black_box(&one_sec), 16_000, &mut rng))
+    });
+    group.bench_function("score_pair_1s", |b| {
+        let mut system = DefenseSystem::paper_default();
+        system.synchronize = false;
+        let va = thrubarrier_dsp::AudioBuffer::new(one_sec.clone(), 16_000);
+        let w =
+            thrubarrier_dsp::AudioBuffer::new(gen::chirp(150.0, 3_000.0, 1.0, 16_000, 0.6), 16_000);
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| {
+            system.score_with_method(
+                DefenseMethod::VibrationBaseline,
+                black_box(&va),
+                black_box(&w),
+                &mut rng,
+            )
+        })
+    });
     group.finish();
 }
 

@@ -214,6 +214,63 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         }),
     );
 
+    // The conversion engine's stages at the verification shape (1 s of
+    // speech at 16 kHz): `vibration_convert_1s` is the fused
+    // single-transform path, `vibration_convert_1s_staged` the kept
+    // per-effect oracle the speedup is claimed against, and
+    // `vibration_score_pair_1s` the defense's pair-conversion scoring
+    // call that rides on `convert_pair`.
+    let one_sec = gen::chirp(150.0, 3_000.0, 1.0, 16_000, 1.0);
+    out.insert(
+        "vibration_convert_1s",
+        median_ns(iters, || {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(wearable.convert(black_box(&one_sec), 16_000, &mut rng));
+        }),
+    );
+    out.insert(
+        "vibration_convert_1s_staged",
+        median_ns(iters, || {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(wearable.convert_staged(black_box(&one_sec), 16_000, &mut rng));
+        }),
+    );
+
+    // Parity guard: the fused engine must never lose to the staged
+    // oracle on the bench host. Asserted so an engine regression fails
+    // the bench run instead of silently recording a bad snapshot; the
+    // speedup stage is in thousandths, like `xcorr_parity_speedup_x1000`.
+    let (fused_ns, staged_ns) = (
+        out["vibration_convert_1s"],
+        out["vibration_convert_1s_staged"],
+    );
+    assert!(
+        fused_ns <= staged_ns,
+        "vibration_parity: fused path {fused_ns} ns slower than staged {staged_ns} ns at 1 s inputs"
+    );
+    out.insert(
+        "vibration_parity_speedup_x1000",
+        staged_ns * 1_000 / fused_ns.max(1),
+    );
+
+    let mut pair_system = DefenseSystem::paper_default();
+    pair_system.synchronize = false; // isolate conversion + correlation
+    let va_1s = thrubarrier_dsp::AudioBuffer::new(one_sec.clone(), 16_000);
+    let w_1s =
+        thrubarrier_dsp::AudioBuffer::new(gen::chirp(150.0, 3_000.0, 1.0, 16_000, 0.6), 16_000);
+    out.insert(
+        "vibration_score_pair_1s",
+        median_ns(iters, || {
+            let mut rng = StdRng::seed_from_u64(8);
+            black_box(pair_system.score_with_method(
+                DefenseMethod::VibrationBaseline,
+                black_box(&va_1s),
+                black_box(&w_1s),
+                &mut rng,
+            ));
+        }),
+    );
+
     let mut ctx = TrialContext::seeded(77);
     let legit = ctx.legitimate_trial();
     let system = DefenseSystem::paper_default();

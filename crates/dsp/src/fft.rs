@@ -286,7 +286,16 @@ fn half_spectrum_with(z: &mut Vec<Complex>, signal: &[f32], n: usize, out: &mut 
 /// Inverse of [`half_spectrum_into`]: reconstructs the length-`n` real
 /// signal whose non-negative-frequency spectrum is `spec` (`n/2 + 1`
 /// bins, conjugate symmetry implied), appending it to `out`.
-pub(crate) fn real_inverse_into(spec: &[Complex], n: usize, out: &mut Vec<f32>) {
+///
+/// Public so multi-stage spectral pipelines (e.g. the vibration
+/// crate's fused conversion engine) can run one forward transform,
+/// apply several gain curves to the same spectrum, and come back to the
+/// time domain per stage — without paying a forward FFT per stage.
+///
+/// # Panics
+///
+/// Panics in debug builds if `spec.len() != n / 2 + 1`.
+pub fn real_inverse_into(spec: &[Complex], n: usize, out: &mut Vec<f32>) {
     SCRATCH.with(|s| {
         let scratch = &mut *s.borrow_mut();
         real_inverse_with(&mut scratch.a, spec, n, out);

@@ -84,6 +84,28 @@ impl ResponseCurve {
         }
         fft::filter_by_gains(signal, self.n_fft, &self.gains)
     }
+
+    /// Multiplies a half-spectrum (as produced by
+    /// [`fft::half_spectrum_into`] at this curve's `n_fft`) by the
+    /// sampled per-bin gains, in place. This is the curve applied
+    /// *without* its own transform round-trip: fused pipelines take one
+    /// forward FFT, chain several curves on the spectrum, and invert
+    /// only where a time-domain signal is actually needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.len()` differs from the table length
+    /// (`n_fft / 2 + 1`).
+    pub fn apply_to_spectrum(&self, spec: &mut [crate::complex::Complex]) {
+        assert_eq!(
+            spec.len(),
+            self.gains.len(),
+            "spectrum bins must match curve table"
+        );
+        for (v, &g) in spec.iter_mut().zip(&self.gains) {
+            *v = v.scale(g);
+        }
+    }
 }
 
 thread_local! {
@@ -117,17 +139,36 @@ pub fn with_curve<R>(
     gain: impl Fn(f32) -> f32,
     f: impl FnOnce(&ResponseCurve) -> R,
 ) -> R {
-    let curve = CURVES.with(|cache| {
+    let curve = cached_curve(key, n_fft, sample_rate, gain);
+    f(&curve)
+}
+
+/// The cached curve for `(key, n_fft, sample_rate)` as a shared handle,
+/// sampling `gain` into a new table on first use.
+///
+/// Unlike [`with_curve`] this hands ownership of the table out of the
+/// cache, so a caller can hold **several** curves at once (e.g. the
+/// fused conversion engine chaining a speaker curve and a coupling
+/// curve over one spectrum) without nesting closures or re-hashing per
+/// stage.
+pub fn cached_curve(
+    key: u64,
+    n_fft: usize,
+    sample_rate: u32,
+    gain: impl Fn(f32) -> f32,
+) -> Rc<ResponseCurve> {
+    CURVES.with(|cache| {
         let mut cache = cache.borrow_mut();
         if let Some(c) = cache.get(&(key, n_fft, sample_rate)) {
+            thrubarrier_obs::counter!("dsp.response_curve.hit").incr();
             Rc::clone(c)
         } else {
+            thrubarrier_obs::counter!("dsp.response_curve.miss").incr();
             let c = Rc::new(ResponseCurve::sample(n_fft, sample_rate, gain));
             cache.insert((key, n_fft, sample_rate), Rc::clone(&c));
             c
         }
-    });
-    f(&curve)
+    })
 }
 
 /// Drop-in cached replacement for

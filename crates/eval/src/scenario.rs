@@ -110,7 +110,10 @@ impl TrialGenerator {
         settings: &TrialSettings,
         rng: &mut R,
     ) -> Trial {
-        let utterance = self.synth.synthesize_command(command, speaker, rng);
+        let utterance = {
+            let _span = thrubarrier_obs::span!("eval.build.synthesis");
+            self.synth.synthesize_command(command, speaker, rng)
+        };
         self.legitimate_with_utterance(utterance.audio.samples(), settings, rng)
     }
 
@@ -124,6 +127,7 @@ impl TrialGenerator {
         speaker: &SpeakerProfile,
         rng: &mut R,
     ) -> Vec<f32> {
+        let _span = thrubarrier_obs::span!("eval.build.synthesis");
         self.synth
             .synthesize_command(command, speaker, rng)
             .audio
@@ -166,7 +170,10 @@ impl TrialGenerator {
         settings: &TrialSettings,
         rng: &mut R,
     ) -> Trial {
-        let sound = self.attacks.generate(kind, command, victim, adversary, rng);
+        let sound = {
+            let _span = thrubarrier_obs::span!("eval.build.attack_gen");
+            self.attacks.generate(kind, command, victim, adversary, rng)
+        };
         let mut source = sound.samples;
         // The adversary controls the playback volume directly: calibrate
         // the emitted level to the configured attack SPL.
@@ -204,6 +211,7 @@ impl TrialGenerator {
         wearable_path: AcousticPath,
         rng: &mut R,
     ) -> (AudioBuffer, AudioBuffer) {
+        let _span = thrubarrier_obs::span!("eval.build.propagation");
         let va = va_path.record(source, AUDIO_RATE, &self.va_mic, rng);
         let wearable_full = wearable_path.record(source, AUDIO_RATE, &self.wearable_mic, rng);
         // The wearable starts recording only once the WiFi trigger

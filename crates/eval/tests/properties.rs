@@ -3,6 +3,52 @@
 use proptest::prelude::*;
 use thrubarrier_eval::metrics::{DetectionMetrics, RocCurve};
 
+/// End-to-end guard for the fused conversion engine: at a fixed seed,
+/// the detection quality (ROC AUC / EER) of a system converting through
+/// the fused path must be indistinguishable from one using the staged
+/// oracle. AUC and EER depend only on the *ordering* of scores, so the
+/// engines' tolerance-level numeric differences must not reorder
+/// legitimate vs attack scores on this workload.
+#[test]
+fn fused_and_staged_conversion_yield_same_roc() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thrubarrier_attack::AttackKind;
+    use thrubarrier_defense::DefenseSystem;
+    use thrubarrier_eval::scenario::TrialContext;
+    use thrubarrier_vibration::ConversionPath;
+
+    let mut ctx = TrialContext::seeded(0xE2E);
+    let mut trials = Vec::new();
+    for _ in 0..6 {
+        trials.push(ctx.legitimate_trial());
+        trials.push(ctx.attack_trial(AttackKind::Replay));
+        trials.push(ctx.attack_trial(AttackKind::VoiceSynthesis));
+    }
+
+    let mut metrics = Vec::new();
+    for path in [ConversionPath::Fused, ConversionPath::Staged] {
+        let mut sys = DefenseSystem::paper_default();
+        sys.wearable.conversion = path;
+        let mut legit = Vec::new();
+        let mut attack = Vec::new();
+        for (i, t) in trials.iter().enumerate() {
+            // Per-trial seed so both paths score identical inputs with
+            // identical RNG streams.
+            let mut rng = StdRng::seed_from_u64(i as u64);
+            let s = sys.score(&t.va_recording, &t.wearable_recording, &mut rng);
+            if t.is_attack {
+                attack.push(s);
+            } else {
+                legit.push(s);
+            }
+        }
+        metrics.push(DetectionMetrics::from_scores(&legit, &attack));
+    }
+    assert_eq!(metrics[0].auc, metrics[1].auc, "AUC diverged across paths");
+    assert_eq!(metrics[0].eer, metrics[1].eer, "EER diverged across paths");
+}
+
 fn scores() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(0.0f32..1.0, 1..60)
 }

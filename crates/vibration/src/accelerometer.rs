@@ -28,20 +28,26 @@ pub struct Accelerometer {
     /// experiments).
     pub anti_alias: bool,
     response: Vec<ResponsePoint>,
+    /// Cache key of the coupling-response curve, precomputed from the
+    /// control points at construction so `capture` does not reallocate
+    /// and rehash them per call.
+    coupling_key: u64,
 }
 
 impl Accelerometer {
+    /// Split frequency (Hz) below which excitation energy drives the
+    /// readout amplifier's noise injection.
+    pub const LOW_BAND_SPLIT_HZ: f32 = 500.0;
+
     /// A commercial smartwatch accelerometer (Fossil Gen 5 class):
     /// 200 Hz, strong low-frequency audio attenuation, good 1–3 kHz
     /// pickup with a resonance near 2.2 kHz.
     pub fn smartwatch_200hz() -> Self {
-        Accelerometer {
-            sample_rate: 200,
-            low_freq_noise_coeff: 1.2,
-            noise_floor: 2e-4,
-            rectification_gain: 1.0,
-            anti_alias: false,
-            response: vec![
+        Self::from_parts(
+            200,
+            1.2,
+            2e-4,
+            vec![
                 (0.0, 1.0), // DC / body-motion band
                 (5.0, 1.0),
                 (20.0, 0.04),
@@ -56,20 +62,39 @@ impl Accelerometer {
                 (6_000.0, 0.15),
                 (8_000.0, 0.06),
             ],
-        }
+        )
     }
 
     /// A slightly less sensitive accelerometer (Moto 360 class).
     pub fn moto_360() -> Self {
-        let mut acc = Accelerometer::smartwatch_200hz();
-        acc.low_freq_noise_coeff = 1.35;
-        acc.noise_floor = 3e-4;
-        for p in &mut acc.response {
-            if p.0 >= 500.0 {
-                p.1 *= 0.85;
-            }
+        let base = Accelerometer::smartwatch_200hz();
+        let response = base
+            .response
+            .into_iter()
+            .map(|(f, g)| if f >= 500.0 { (f, g * 0.85) } else { (f, g) })
+            .collect();
+        Self::from_parts(200, 1.35, 3e-4, response)
+    }
+
+    /// Assembles an accelerometer and stamps the coupling-curve cache
+    /// key (a pure function of the control points).
+    fn from_parts(
+        sample_rate: u32,
+        low_freq_noise_coeff: f32,
+        noise_floor: f32,
+        response: Vec<ResponsePoint>,
+    ) -> Self {
+        let params: Vec<f32> = response.iter().flat_map(|&(f, g)| [f, g]).collect();
+        let coupling_key = response::curve_key(0x4143_435F_4350, &params);
+        Accelerometer {
+            sample_rate,
+            low_freq_noise_coeff,
+            noise_floor,
+            rectification_gain: 1.0,
+            anti_alias: false,
+            response,
+            coupling_key,
         }
-        acc
     }
 
     /// The coupling gain from airborne/conductive audio at `freq_hz` to
@@ -96,6 +121,11 @@ impl Accelerometer {
 
     /// Fraction of the coupled signal's energy below `split_hz` — the
     /// quantity that drives readout-noise injection.
+    ///
+    /// This is the staged (oracle) formulation: a third full filter
+    /// round-trip through a brick-wall curve. The fused engine meters
+    /// the same quantity directly from the speaker-weighted spectrum
+    /// via Parseval (see `crate::engine`).
     fn low_band_rms(signal: &[f32], sample_rate: u32, split_hz: f32) -> f32 {
         let key = response::curve_key(0x4143_435F_4C4F, &[split_hz]);
         let low = response::filter_cached(key, signal, sample_rate, move |f| {
@@ -108,11 +138,44 @@ impl Accelerometer {
         stats::rms(&low)
     }
 
-    /// Cache key of the coupling-response curve: one table per distinct
-    /// set of control points.
-    fn coupling_curve_key(&self) -> u64 {
-        let params: Vec<f32> = self.response.iter().flat_map(|&(f, g)| [f, g]).collect();
-        response::curve_key(0x4143_435F_4350, &params)
+    /// The coupling-response curve sampled for an `n_fft`-point FFT at
+    /// `sample_rate`, from the per-thread curve cache (the same table
+    /// `capture` filters through, so fused and staged conversions apply
+    /// bit-identical gains).
+    pub(crate) fn coupling_curve_table(
+        &self,
+        n_fft: usize,
+        sample_rate: u32,
+    ) -> std::rc::Rc<response::ResponseCurve> {
+        response::cached_curve(self.coupling_key, n_fft, sample_rate, |f| {
+            self.coupling_gain(f)
+        })
+    }
+
+    /// Standard deviation of the injected readout noise for a given
+    /// low-band excitation RMS.
+    pub(crate) fn noise_std_for(&self, low_rms: f32) -> f32 {
+        self.low_freq_noise_coeff * low_rms * 0.05 + self.noise_floor
+    }
+
+    /// Adds the rectification leak of `excitation` into `out`, in
+    /// place: the energy envelope (low-passed |x|²) leaks into the
+    /// 0–5 Hz band. Two cascaded one-pole low-passes at 2 Hz confine
+    /// the leak below ~5 Hz (paper Fig. 7). `out` is the coupled
+    /// signal, so mixing allocates nothing.
+    pub(crate) fn add_rectification_leak(
+        &self,
+        excitation: &[f32],
+        out: &mut [f32],
+        audio_rate: u32,
+    ) {
+        let alpha = (-std::f32::consts::TAU * 2.0 / audio_rate as f32).exp();
+        let (mut env1, mut env2) = (0.0f32, 0.0f32);
+        for (o, &x) in out.iter_mut().zip(excitation) {
+            env1 = alpha * env1 + (1.0 - alpha) * x * x;
+            env2 = alpha * env2 + (1.0 - alpha) * env1;
+            *o += self.rectification_gain * env2;
+        }
     }
 
     /// Converts an audio-rate vibration excitation into the
@@ -131,23 +194,13 @@ impl Accelerometer {
             return AudioBuffer::empty(self.sample_rate);
         }
         // 1. Mechanical/electrical coupling response.
-        let coupled =
-            response::filter_cached(self.coupling_curve_key(), excitation, audio_rate, |f| {
-                self.coupling_gain(f)
-            });
+        let mut coupled = response::filter_cached(self.coupling_key, excitation, audio_rate, |f| {
+            self.coupling_gain(f)
+        });
 
-        // 2. Rectification leakage: the energy envelope (low-passed |x|²)
-        //    leaks into the 0–5 Hz band. Two cascaded one-pole low-passes
-        //    at 2 Hz confine the leak below ~5 Hz (paper Fig. 7).
-        let mut leak = vec![0.0f32; coupled.len()];
-        let alpha = (-std::f32::consts::TAU * 2.0 / audio_rate as f32).exp();
-        let (mut env1, mut env2) = (0.0f32, 0.0f32);
-        for (l, &x) in leak.iter_mut().zip(excitation) {
-            env1 = alpha * env1 + (1.0 - alpha) * x * x;
-            env2 = alpha * env2 + (1.0 - alpha) * env1;
-            *l = self.rectification_gain * env2;
-        }
-        let mixed: Vec<f32> = coupled.iter().zip(&leak).map(|(a, b)| a + b).collect();
+        // 2. Rectification leakage, added into the coupled signal in
+        //    place (no `mixed` temporary).
+        self.add_rectification_leak(excitation, &mut coupled, audio_rate);
 
         // 3. The ADC: real wearables decimate with NO anti-aliasing
         //    filter (the fold-down is what carries high-frequency speech
@@ -155,9 +208,9 @@ impl Accelerometer {
         //    the ablation study.
         let factor = (audio_rate / self.sample_rate).max(1) as usize;
         let mut sampled = if self.anti_alias {
-            resample::decimate(&mixed, factor, audio_rate).expect("factor >= 1 by construction")
+            resample::decimate(&coupled, factor, audio_rate).expect("factor >= 1 by construction")
         } else {
-            resample::decimate_aliased(&mixed, factor).expect("factor >= 1 by construction")
+            resample::decimate_aliased(&coupled, factor).expect("factor >= 1 by construction")
         };
 
         // 4. Level-dependent readout noise: driven by the *pre-coupling*
@@ -168,8 +221,8 @@ impl Accelerometer {
         //    than the average (e.g. /aa/, /ao/) convert with better SNR
         //    and intrinsically weak segments with worse. This is the
         //    asymmetry behind both of the paper's selection criteria.
-        let low_rms = Self::low_band_rms(excitation, audio_rate, 500.0);
-        let noise_std = self.low_freq_noise_coeff * low_rms * 0.05 + self.noise_floor;
+        let low_rms = Self::low_band_rms(excitation, audio_rate, Self::LOW_BAND_SPLIT_HZ);
+        let noise_std = self.noise_std_for(low_rms);
         for v in &mut sampled {
             *v += noise_std * thrubarrier_dsp::gen::standard_normal(rng);
         }
@@ -179,13 +232,12 @@ impl Accelerometer {
     /// Signal-to-injected-noise ratio the sensor would achieve for a
     /// given excitation — a diagnostic used by tests and ablations.
     pub fn conversion_snr_db(&self, excitation: &[f32], audio_rate: u32) -> f32 {
-        let coupled =
-            response::filter_cached(self.coupling_curve_key(), excitation, audio_rate, |f| {
-                self.coupling_gain(f)
-            });
+        let coupled = response::filter_cached(self.coupling_key, excitation, audio_rate, |f| {
+            self.coupling_gain(f)
+        });
         let signal_rms = stats::rms(&coupled);
-        let low_rms = Self::low_band_rms(excitation, audio_rate, 500.0);
-        let noise_std = self.low_freq_noise_coeff * low_rms * 0.05 + self.noise_floor;
+        let low_rms = Self::low_band_rms(excitation, audio_rate, Self::LOW_BAND_SPLIT_HZ);
+        let noise_std = self.noise_std_for(low_rms);
         20.0 * (signal_rms / noise_std.max(1e-12)).log10()
     }
 }
@@ -195,7 +247,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use thrubarrier_dsp::gen;
+    use thrubarrier_dsp::{gen, stats};
 
     #[test]
     fn response_attenuates_low_frequency_audio() {
@@ -299,6 +351,4 @@ mod tests {
         assert!(moto.noise_floor > fossil.noise_floor);
         assert!(moto.coupling_gain(2_200.0) < fossil.coupling_gain(2_200.0));
     }
-
-    use thrubarrier_dsp::stats;
 }

@@ -27,6 +27,12 @@
 //! 5. **Body-motion interference** at 0.3–3.5 Hz ([`motion`]), removed by
 //!    the same crop plus a high-pass filter.
 //!
+//! Production conversions run through the fused single-transform
+//! [`engine::ConversionEngine`] (one forward FFT, curve multiplies on the
+//! shared spectrum, Parseval noise metering); the staged per-effect chain
+//! is kept as [`Wearable::convert_staged`], the tolerance-gated parity
+//! oracle.
+//!
 //! # Example
 //!
 //! ```
@@ -46,8 +52,10 @@
 
 pub mod accelerometer;
 pub mod chirp;
+pub mod engine;
 pub mod motion;
 pub mod wearable;
 
 pub use accelerometer::Accelerometer;
+pub use engine::{with_engine, ConversionEngine, ConversionPath};
 pub use wearable::{Wearable, WearableSpeaker};

@@ -38,10 +38,21 @@ impl BodyMotion {
 
     /// Generates `n` samples of interference at `sample_rate`.
     pub fn generate<R: Rng + ?Sized>(&self, n: usize, sample_rate: u32, rng: &mut R) -> Vec<f32> {
+        let mut out = vec![0.0f32; n];
+        self.add_into(&mut out, sample_rate, rng);
+        out
+    }
+
+    /// Adds interference directly into `out` (one sample per slot) at
+    /// `sample_rate` — the allocation-free form the conversion paths
+    /// mix with. Draws exactly the three phase values whatever the
+    /// output length, so conversion chains stay RNG-reproducible across
+    /// segment lengths and paths.
+    pub fn add_into<R: Rng + ?Sized>(&self, out: &mut [f32], sample_rate: u32, rng: &mut R) {
         let fs = sample_rate as f32;
         // Dominant component plus two harmonically unrelated minor ones,
         // all inside 0.3–3.5 Hz.
-        let comps: Vec<(f32, f32, f32)> = vec![
+        let comps: [(f32, f32, f32); 3] = [
             (
                 self.dominant_hz,
                 self.amplitude,
@@ -58,15 +69,14 @@ impl BodyMotion {
                 rng.gen_range(0.0..std::f32::consts::TAU),
             ),
         ];
-        (0..n)
-            .map(|i| {
-                let t = i as f32 / fs;
-                comps
-                    .iter()
-                    .map(|&(f, a, ph)| a * (std::f32::consts::TAU * f * t + ph).sin())
-                    .sum()
-            })
-            .collect()
+        for (i, v) in out.iter_mut().enumerate() {
+            let t = i as f32 / fs;
+            let interference: f32 = comps
+                .iter()
+                .map(|&(f, a, ph)| a * (std::f32::consts::TAU * f * t + ph).sin())
+                .sum();
+            *v += interference;
+        }
     }
 }
 

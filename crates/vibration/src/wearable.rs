@@ -1,6 +1,7 @@
 //! Wearable device presets and the audio→vibration conversion.
 
 use crate::accelerometer::Accelerometer;
+use crate::engine::{self, ConversionPath};
 use crate::motion::BodyMotion;
 use rand::Rng;
 use thrubarrier_dsp::AudioBuffer;
@@ -27,10 +28,26 @@ impl WearableSpeaker {
     /// Plays a signal through the speaker (band-limiting only; micro
     /// speakers at replay levels stay essentially linear).
     pub fn play(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
+        if signal.is_empty() {
+            return Vec::new();
+        }
+        let n = thrubarrier_dsp::fft::next_pow2(signal.len());
+        self.response_curve(n, sample_rate).filter(signal)
+    }
+
+    /// The speaker's reproduction curve sampled for an `n_fft`-point
+    /// FFT at `sample_rate`, from the per-thread curve cache. Shared
+    /// between [`WearableSpeaker::play`] and the fused conversion
+    /// engine, so both paths multiply bit-identical gain tables.
+    pub(crate) fn response_curve(
+        &self,
+        n_fft: usize,
+        sample_rate: u32,
+    ) -> std::rc::Rc<thrubarrier_dsp::response::ResponseCurve> {
         let lo = self.low_hz;
         let hi = self.high_hz.min(sample_rate as f32 / 2.0 * 0.98);
         let key = thrubarrier_dsp::response::curve_key(0x5753_504B, &[lo, hi]);
-        thrubarrier_dsp::response::filter_cached(key, signal, sample_rate, move |f| {
+        thrubarrier_dsp::response::cached_curve(key, n_fft, sample_rate, move |f| {
             if f < lo {
                 (f / lo).powi(2)
             } else if f > hi {
@@ -57,6 +74,10 @@ pub struct Wearable {
     pub accelerometer: Accelerometer,
     /// Interference from the wearer's movement, if simulated.
     pub body_motion: Option<BodyMotion>,
+    /// Which conversion implementation [`Wearable::convert`] runs: the
+    /// fused single-transform engine (default) or the staged per-effect
+    /// chain kept as the parity oracle.
+    pub conversion: ConversionPath,
 }
 
 impl Wearable {
@@ -67,6 +88,7 @@ impl Wearable {
             speaker: WearableSpeaker::smartwatch(),
             accelerometer: Accelerometer::smartwatch_200hz(),
             body_motion: None,
+            conversion: ConversionPath::Fused,
         }
     }
 
@@ -77,6 +99,7 @@ impl Wearable {
             speaker: WearableSpeaker::smartwatch(),
             accelerometer: Accelerometer::moto_360(),
             body_motion: None,
+            conversion: ConversionPath::Fused,
         }
     }
 
@@ -89,20 +112,39 @@ impl Wearable {
     /// Cross-domain conversion: replays `recording` through the built-in
     /// speaker and captures it with the accelerometer, returning the
     /// vibration-domain signal (at the accelerometer rate).
+    ///
+    /// Runs through the per-thread [`crate::engine::ConversionEngine`]
+    /// on the path selected by [`Wearable::conversion`]. Batch call
+    /// sites that convert two recordings back-to-back should prefer
+    /// [`crate::engine::with_engine`] +
+    /// [`crate::engine::ConversionEngine::convert_pair`].
     pub fn convert<R: Rng + ?Sized>(
         &self,
         recording: &[f32],
         sample_rate: u32,
         rng: &mut R,
     ) -> AudioBuffer {
-        let _span = thrubarrier_obs::span!("vibration.convert");
+        engine::with_engine(|e| e.convert(self, recording, sample_rate, rng))
+    }
+
+    /// The staged per-effect conversion chain: speaker band-limit
+    /// filter, coupling filter, rectification leak, ADC decimation,
+    /// level-dependent noise, body motion — each stage a separate pass.
+    ///
+    /// Kept as the parity oracle for the fused engine (the
+    /// `cross_correlate_time` pattern): mathematically the same
+    /// computation, structured for auditability rather than speed.
+    pub fn convert_staged<R: Rng + ?Sized>(
+        &self,
+        recording: &[f32],
+        sample_rate: u32,
+        rng: &mut R,
+    ) -> AudioBuffer {
         let played = self.speaker.play(recording, sample_rate);
         let mut vib = self.accelerometer.capture(&played, sample_rate, rng);
         if let Some(motion) = &self.body_motion {
-            let interference = motion.generate(vib.len(), vib.sample_rate(), rng);
-            for (v, &m) in vib.samples_mut().iter_mut().zip(&interference) {
-                *v += m;
-            }
+            let rate = vib.sample_rate();
+            motion.add_into(vib.samples_mut(), rate, rng);
         }
         vib
     }

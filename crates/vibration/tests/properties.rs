@@ -7,6 +7,46 @@ use thrubarrier_dsp::{gen, stats};
 use thrubarrier_vibration::motion::BodyMotion;
 use thrubarrier_vibration::{Accelerometer, Wearable};
 
+/// RMS of the elementwise difference of two equal-length conversions.
+fn diff_rms(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let mut num = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        num += f64::from(x - y) * f64::from(x - y);
+    }
+    (num / a.len().max(1) as f64).sqrt()
+}
+
+/// Runs the fused engine and the staged oracle on the same seed and
+/// gates their difference with a hybrid relative + absolute tolerance.
+///
+/// The gate is a tolerance, not bitwise equality, for two structural
+/// reasons (see `thrubarrier_vibration::engine` docs): the staged chain
+/// truncates the played signal to the input length and re-pads with
+/// zeros before the coupling filter, while the fused path multiplies
+/// both curves on the untruncated spectrum; and Parseval noise metering
+/// integrates the whole padded block where the oracle's RMS sees only
+/// the truncated samples. The relative term bounds those edge effects
+/// (largest when the zero pad approaches half the FFT block — an
+/// empirical sweep across devices, lengths, ADC modes and seeds peaks
+/// near 17% of signal RMS at ~46% padding); the absolute term covers
+/// conversions whose output sits at the sensor noise floor, where a
+/// purely relative measure degenerates.
+fn assert_paths_agree(w: &Wearable, sig: &[f32], sample_rate: u32, seed: u64) {
+    let fused = w.convert(sig, sample_rate, &mut StdRng::seed_from_u64(seed));
+    let staged = w.convert_staged(sig, sample_rate, &mut StdRng::seed_from_u64(seed));
+    assert_eq!(fused.len(), staged.len());
+    assert_eq!(fused.sample_rate(), staged.sample_rate());
+    let d = diff_rms(fused.samples(), staged.samples());
+    let gate = 0.15 * f64::from(stats::rms(staged.samples()))
+        + 2.0 * f64::from(w.accelerometer.noise_floor);
+    assert!(
+        d <= gate,
+        "fused/staged diff rms {d} exceeds gate {gate} for len {} at {sample_rate} Hz",
+        sig.len()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -83,6 +123,68 @@ proptest! {
             .sum();
         let total: f32 = mags.iter().map(|&m| m * m).sum();
         prop_assert!(above < total * 0.03, "above-6Hz share {}", above / total); // 3% allows finite-window leakage
+    }
+
+    #[test]
+    fn fused_matches_staged_across_devices_and_signals(
+        device in 0usize..2,
+        seed in 0u64..30,
+        lo in 80.0f32..600.0,
+        span in 400.0f32..3_000.0,
+        amp in 0.05f32..1.5,
+        dur in 0.02f32..0.25,
+    ) {
+        let w = if device == 0 { Wearable::fossil_gen_5() } else { Wearable::moto_360() };
+        let sig = gen::chirp(lo, lo + span, dur, 16_000, amp);
+        assert_paths_agree(&w, &sig, 16_000, seed);
+    }
+
+    #[test]
+    fn fused_matches_staged_at_48khz(
+        seed in 0u64..20,
+        hi in 2_000.0f32..8_000.0,
+        amp in 0.1f32..1.0,
+    ) {
+        let w = Wearable::fossil_gen_5();
+        let sig = gen::chirp(200.0, hi, 0.05, 48_000, amp);
+        assert_paths_agree(&w, &sig, 48_000, seed);
+    }
+
+    #[test]
+    fn fused_matches_staged_with_anti_alias_adc(
+        device in 0usize..2,
+        seed in 0u64..20,
+        amp in 0.1f32..1.0,
+    ) {
+        let mut w = if device == 0 { Wearable::fossil_gen_5() } else { Wearable::moto_360() };
+        w.accelerometer.anti_alias = true;
+        let sig = gen::chirp(150.0, 3_500.0, 0.08, 16_000, amp);
+        assert_paths_agree(&w, &sig, 16_000, seed);
+    }
+
+    #[test]
+    fn fused_matches_staged_under_body_motion(
+        seed in 0u64..20,
+        amp in 0.1f32..1.0,
+    ) {
+        // Body motion is orders of magnitude stronger than the converted
+        // signal, and both paths mix bit-identical interference — so the
+        // relative gap should tighten, not loosen.
+        let w = Wearable::fossil_gen_5().with_body_motion(BodyMotion::walking());
+        let sig = gen::chirp(300.0, 2_500.0, 0.1, 16_000, amp);
+        assert_paths_agree(&w, &sig, 16_000, seed);
+    }
+
+    #[test]
+    fn fused_matches_staged_on_short_inputs(
+        n in 0usize..400,
+        seed in 0u64..20,
+    ) {
+        // Short / empty inputs stress padding edge cases (n < one ADC
+        // period, n == 1 → single-bin spectrum).
+        let w = Wearable::moto_360();
+        let sig: Vec<f32> = (0..n).map(|i| 0.3 * (i as f32 * 0.7).sin()).collect();
+        assert_paths_agree(&w, &sig, 16_000, seed);
     }
 
     #[test]
