@@ -137,14 +137,18 @@ impl Barrier {
         thrubarrier_dsp::stats::db_to_amplitude(-self.transmission_loss_db(freq_hz))
     }
 
-    /// Filters a signal through the barrier (frequency-domain
-    /// application of the transmission curve).
-    pub fn transmit(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
-        let _span = thrubarrier_obs::span!("acoustics.barrier_transmit");
+    /// The transmission curve sampled for an `n_fft`-point FFT at
+    /// `sample_rate`, from the response-curve cache. The curve is fully
+    /// determined by the material's three coefficients, so it is
+    /// sampled once per (material, fft-size, rate) and shared between
+    /// [`Barrier::transmit`] and the fused scene engine — both paths
+    /// multiply bit-identical gain tables.
+    pub(crate) fn response_curve(
+        &self,
+        n_fft: usize,
+        sample_rate: u32,
+    ) -> std::sync::Arc<response::ResponseCurve> {
         let this = *self;
-        // The transmission curve is fully determined by the material's
-        // three coefficients, so it is sampled once per (material,
-        // fft-size, rate) and reused from the response-curve cache.
         let key = response::curve_key(
             0x0042_4152_5249_4552,
             &[
@@ -153,7 +157,18 @@ impl Barrier {
                 self.material.base_loss_db(),
             ],
         );
-        response::filter_cached(key, signal, sample_rate, move |f| this.transmission_gain(f))
+        response::cached_curve(key, n_fft, sample_rate, move |f| this.transmission_gain(f))
+    }
+
+    /// Filters a signal through the barrier (frequency-domain
+    /// application of the transmission curve).
+    pub fn transmit(&self, signal: &[f32], sample_rate: u32) -> Vec<f32> {
+        let _span = thrubarrier_obs::span!("acoustics.barrier_transmit");
+        if signal.is_empty() {
+            return Vec::new();
+        }
+        let n = thrubarrier_dsp::fft::next_pow2(signal.len());
+        self.response_curve(n, sample_rate).filter(signal)
     }
 }
 

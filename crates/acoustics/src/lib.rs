@@ -21,12 +21,16 @@
 //!   harmonic distortion) used by replay/synthesis/hidden attacks.
 //! * [`scene`] — composition of a full acoustic path
 //!   (source → loudspeaker? → barrier? → distance → reverb → microphone).
+//! * [`engine`] — the fused scene-rendering engine: the path's whole
+//!   LTI middle (barrier × spreading × delay × reverb taps × mic) as
+//!   one combined transfer function, applied in a single spectral pass.
 //! * [`va`] — voice-assistant device models (wake-word matcher,
 //!   Siri-style speaker-verification gate) for the Table I attack study.
 
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod engine;
 pub mod loudspeaker;
 pub mod mic;
 pub mod propagation;
@@ -35,6 +39,7 @@ pub mod scene;
 pub mod va;
 
 pub use barrier::{Barrier, BarrierMaterial};
+pub use engine::{RenderPath, SceneEngine};
 pub use mic::Microphone;
 pub use room::{Room, RoomId};
 pub use scene::AcousticPath;

@@ -44,28 +44,30 @@ impl Loudspeaker {
         let lo = self.low_hz;
         let hi = self.high_hz.min(sample_rate as f32 / 2.0 * 0.98);
         let key = thrubarrier_dsp::response::curve_key(0x4C53_504B, &[lo, hi]);
-        let band = thrubarrier_dsp::response::filter_cached(key, signal, sample_rate, move |f| {
-            if f < lo {
-                (f / lo).powi(2)
-            } else if f > hi {
-                (hi / f).powi(2)
-            } else {
-                1.0
-            }
-        });
+        let mut band =
+            thrubarrier_dsp::response::filter_cached(key, signal, sample_rate, move |f| {
+                if f < lo {
+                    (f / lo).powi(2)
+                } else if f > hi {
+                    (hi / f).powi(2)
+                } else {
+                    1.0
+                }
+            });
         if self.distortion <= 0.0 {
             return band;
         }
         // Soft clip around the signal's own scale so distortion is
-        // level-independent.
+        // level-independent. The peak scan has to finish before any
+        // sample is reshaped, but the tanh itself mutates the filtered
+        // buffer in place — no second allocation.
         let peak = thrubarrier_dsp::stats::peak(&band).max(1e-9);
         let drive = 1.0 + 4.0 * self.distortion;
-        band.iter()
-            .map(|&x| {
-                let y = (x / peak * drive).tanh() / drive.tanh();
-                y * peak
-            })
-            .collect()
+        let norm = drive.tanh();
+        for x in &mut band {
+            *x = (*x / peak * drive).tanh() / norm * peak;
+        }
+        band
     }
 }
 

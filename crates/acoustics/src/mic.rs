@@ -56,6 +56,35 @@ impl Microphone {
         }
     }
 
+    /// The microphone's gain/roll-off response sampled for an
+    /// `n_fft`-point FFT at `sample_rate`, from the response-curve
+    /// cache. Shared between [`Microphone::record`] and the fused scene
+    /// engine, so both paths multiply bit-identical gain tables.
+    pub(crate) fn response_curve(
+        &self,
+        n_fft: usize,
+        sample_rate: u32,
+    ) -> std::sync::Arc<thrubarrier_dsp::response::ResponseCurve> {
+        let gain = thrubarrier_dsp::stats::db_to_amplitude(self.array_gain_db);
+        let hp = self.highpass_hz;
+        let key = thrubarrier_dsp::response::curve_key(0x4D49_4352, &[gain, hp]);
+        thrubarrier_dsp::response::cached_curve(key, n_fft, sample_rate, move |f| {
+            // Gentle 2nd-order-like roll-off below the corner.
+            let r = if f < hp {
+                let x = (f / hp).max(1e-3);
+                x * x
+            } else {
+                1.0
+            };
+            gain * r
+        })
+    }
+
+    /// Standard deviation of the microphone's self-noise.
+    pub(crate) fn noise_std(&self) -> f32 {
+        spl_to_rms(self.noise_floor_spl_db)
+    }
+
     /// Records an incident pressure signal: applies the array gain and
     /// high-pass roll-off, adds self-noise, and clips at full scale.
     pub fn record<R: Rng + ?Sized>(
@@ -64,25 +93,13 @@ impl Microphone {
         sample_rate: u32,
         rng: &mut R,
     ) -> AudioBuffer {
-        let gain = thrubarrier_dsp::stats::db_to_amplitude(self.array_gain_db);
-        let hp = self.highpass_hz;
-        let key = thrubarrier_dsp::response::curve_key(0x4D49_4352, &[gain, hp]);
-        let mut out =
-            thrubarrier_dsp::response::filter_cached(key, incident, sample_rate, move |f| {
-                // Gentle 2nd-order-like roll-off below the corner.
-                let r = if f < hp {
-                    let x = (f / hp).max(1e-3);
-                    x * x
-                } else {
-                    1.0
-                };
-                gain * r
-            });
-        let noise_std = spl_to_rms(self.noise_floor_spl_db);
-        for v in &mut out {
-            *v += noise_std * thrubarrier_dsp::gen::standard_normal(rng);
-            *v = v.clamp(-1.0, 1.0);
-        }
+        let mut out = if incident.is_empty() {
+            Vec::new()
+        } else {
+            let n = thrubarrier_dsp::fft::next_pow2(incident.len());
+            self.response_curve(n, sample_rate).filter(incident)
+        };
+        thrubarrier_dsp::gen::add_gaussian_noise_clamped(&mut out, self.noise_std(), rng);
         AudioBuffer::new(out, sample_rate)
     }
 }

@@ -122,13 +122,17 @@ impl Room {
         self.apply_reverb_taps(signal, sample_rate, &jd, &jg)
     }
 
-    fn apply_reverb_taps(
+    /// The room's first-order reflection taps as `(delay_samples, gain)`
+    /// pairs, after position jitter. Shared between the staged
+    /// convolution below and the fused scene engine, which folds the
+    /// same taps into its combined transfer function — both paths must
+    /// derive taps from identical arithmetic.
+    pub(crate) fn reverb_taps(
         &self,
-        signal: &[f32],
         sample_rate: u32,
         delay_jitter: &[f32],
         gain_jitter: &[f32],
-    ) -> Vec<f32> {
+    ) -> Vec<(usize, f32)> {
         let (w, l) = self.size_m;
         // Representative extra path lengths for first-order images.
         let paths = [w * 0.9, l * 0.9, (w + l) * 0.7];
@@ -142,6 +146,17 @@ impl Room {
                 taps.push((delay, gain));
             }
         }
+        taps
+    }
+
+    fn apply_reverb_taps(
+        &self,
+        signal: &[f32],
+        sample_rate: u32,
+        delay_jitter: &[f32],
+        gain_jitter: &[f32],
+    ) -> Vec<f32> {
+        let taps = self.reverb_taps(sample_rate, delay_jitter, gain_jitter);
         let max_delay = taps.iter().map(|&(d, _)| d).max().unwrap_or(0);
         if !signal.is_empty() && max_delay + 1 > REVERB_FFT_CROSSOVER {
             convolve_taps_fft(signal, &taps, max_delay)
@@ -152,10 +167,7 @@ impl Room {
 
     /// Adds the room's ambient noise floor to a signal in place.
     pub fn add_ambient_noise<R: Rng + ?Sized>(&self, signal: &mut [f32], rng: &mut R) {
-        let std = spl_to_rms(self.ambient_spl_db);
-        for v in signal.iter_mut() {
-            *v += std * thrubarrier_dsp::gen::standard_normal(rng);
-        }
+        thrubarrier_dsp::gen::add_gaussian_noise(signal, spl_to_rms(self.ambient_spl_db), rng);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Composition of a complete acoustic path from a source to a
 //! microphone.
 
+use crate::engine::{self, RenderPath};
 use crate::loudspeaker::Loudspeaker;
 use crate::mic::Microphone;
 use crate::propagation::{distance_gain, propagation_delay_samples};
@@ -25,6 +26,8 @@ pub struct AcousticPath {
     pub distance_m: f32,
     /// Playback device for replayed sounds, if any.
     pub loudspeaker: Option<Loudspeaker>,
+    /// Which rendering implementation [`AcousticPath::record`] uses.
+    pub render: RenderPath,
 }
 
 impl AcousticPath {
@@ -36,6 +39,7 @@ impl AcousticPath {
             through_barrier: false,
             distance_m,
             loudspeaker: None,
+            render: RenderPath::default(),
         }
     }
 
@@ -48,27 +52,51 @@ impl AcousticPath {
             through_barrier: true,
             distance_m,
             loudspeaker: Some(loudspeaker),
+            render: RenderPath::default(),
         }
+    }
+
+    /// The same path with an explicit rendering implementation (parity
+    /// tests and benches pin [`RenderPath::Staged`]; everything else
+    /// keeps the default).
+    pub fn with_render(mut self, render: RenderPath) -> Self {
+        self.render = render;
+        self
+    }
+
+    /// The shared linear front of the staged chain: playback device,
+    /// barrier, spreading loss and travel delay — everything before the
+    /// reverberation stage. Borrows the source straight through when
+    /// there is no loudspeaker instead of copying it.
+    fn staged_front(&self, source: &[f32], sample_rate: u32) -> Vec<f32> {
+        let played;
+        let sig: &[f32] = match &self.loudspeaker {
+            Some(sp) => {
+                played = sp.play(source, sample_rate);
+                &played
+            }
+            None => source,
+        };
+        let crossed;
+        let sig: &[f32] = if self.through_barrier {
+            crossed = self.room.barrier.transmit(sig, sample_rate);
+            &crossed
+        } else {
+            sig
+        };
+        let g = distance_gain(self.distance_m);
+        let delay = propagation_delay_samples(self.distance_m, sample_rate);
+        let mut delayed = Vec::with_capacity(delay + sig.len());
+        delayed.resize(delay, 0.0);
+        delayed.extend(sig.iter().map(|&v| v * g));
+        delayed
     }
 
     /// Propagates a source signal along the path (everything except the
     /// microphone's own transduction): playback device, barrier,
     /// spreading loss, travel delay, reverberation.
     pub fn transmit(&self, source: &[f32], sample_rate: u32) -> Vec<f32> {
-        let mut sig = match &self.loudspeaker {
-            Some(sp) => sp.play(source, sample_rate),
-            None => source.to_vec(),
-        };
-        if self.through_barrier {
-            sig = self.room.barrier.transmit(&sig, sample_rate);
-        }
-        let g = distance_gain(self.distance_m);
-        for v in &mut sig {
-            *v *= g;
-        }
-        let delay = propagation_delay_samples(self.distance_m, sample_rate);
-        let mut delayed = vec![0.0f32; delay];
-        delayed.extend_from_slice(&sig);
+        let delayed = self.staged_front(source, sample_rate);
         self.room.apply_reverb(&delayed, sample_rate)
     }
 
@@ -80,20 +108,7 @@ impl AcousticPath {
         sample_rate: u32,
         rng: &mut R,
     ) -> Vec<f32> {
-        let mut sig = match &self.loudspeaker {
-            Some(sp) => sp.play(source, sample_rate),
-            None => source.to_vec(),
-        };
-        if self.through_barrier {
-            sig = self.room.barrier.transmit(&sig, sample_rate);
-        }
-        let g = distance_gain(self.distance_m);
-        for v in &mut sig {
-            *v *= g;
-        }
-        let delay = propagation_delay_samples(self.distance_m, sample_rate);
-        let mut delayed = vec![0.0f32; delay];
-        delayed.extend_from_slice(&sig);
+        let delayed = self.staged_front(source, sample_rate);
         self.room
             .apply_reverb_positioned(&delayed, sample_rate, rng)
     }
@@ -101,7 +116,26 @@ impl AcousticPath {
     /// Propagates the source and records it with `mic`, including the
     /// room's ambient noise. Reflections are position-dependent: each
     /// recording device hears its own echo pattern.
+    ///
+    /// Rendering is dispatched on [`AcousticPath::render`]: the default
+    /// fused path runs the whole linear chain in one spectral pass on
+    /// the per-thread [`engine::SceneEngine`]; [`RenderPath::Staged`]
+    /// keeps the original stage-by-stage chain as the parity oracle.
     pub fn record<R: Rng + ?Sized>(
+        &self,
+        source: &[f32],
+        sample_rate: u32,
+        mic: &Microphone,
+        rng: &mut R,
+    ) -> AudioBuffer {
+        engine::with_engine(|e| e.record(self, source, sample_rate, mic, rng))
+    }
+
+    /// The staged rendering chain: transmit stage by stage, add ambient
+    /// noise, then run the microphone. Kept as the parity oracle for
+    /// the fused scene engine — its RNG draw order (reverb jitter,
+    /// ambient, mic self-noise) is the contract the fused path matches.
+    pub fn record_staged<R: Rng + ?Sized>(
         &self,
         source: &[f32],
         sample_rate: u32,

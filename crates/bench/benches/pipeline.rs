@@ -107,6 +107,35 @@ fn bench_cross_domain(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scene_render(c: &mut Criterion) {
+    use thrubarrier_acoustics::{AcousticPath, Microphone, RenderPath, Room, RoomId};
+
+    // The scene engine's fused path against the staged oracle at the
+    // bench_json `scene_record_2s` shape: a speaker-less thru-barrier
+    // path, so the numbers isolate the render paths rather than the
+    // playback-device front both execute identically.
+    let mut group = c.benchmark_group("scene");
+    let src = gen::chirp(120.0, 3_000.0, 0.3, 16_000, 2.0);
+    let path = AcousticPath {
+        room: Room::paper_room(RoomId::A),
+        through_barrier: true,
+        distance_m: 2.0,
+        loudspeaker: None,
+        render: RenderPath::Fused,
+    };
+    let mic = Microphone::phone();
+    group.bench_function("record_2s_fused", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| path.record(black_box(&src), 16_000, &mic, &mut rng))
+    });
+    let staged = path.clone().with_render(RenderPath::Staged);
+    group.bench_function("record_2s_staged", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| staged.record(black_box(&src), 16_000, &mic, &mut rng))
+    });
+    group.finish();
+}
+
 fn bench_detection_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("detection");
     group.sample_size(20);
@@ -133,6 +162,7 @@ criterion_group!(
     benches,
     bench_dsp_primitives,
     bench_cross_domain,
+    bench_scene_render,
     bench_detection_methods
 );
 criterion_main!(benches);

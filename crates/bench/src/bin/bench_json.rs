@@ -253,6 +253,61 @@ fn run_stages(iters: usize) -> BTreeMap<&'static str, u64> {
         staged_ns * 1_000 / fused_ns.max(1),
     );
 
+    // Acoustic scene rendering (the evaluation's dominant trial-build
+    // cost): 2 s of source propagated through a thru-barrier path —
+    // barrier curve, spreading loss + travel delay, room reverb, mic
+    // response and the noise tail — into a phone mic.
+    // `scene_record_2s` is the fused single-pass engine,
+    // `scene_record_2s_staged` the kept stage-by-stage oracle. The
+    // path carries no loudspeaker: the playback-device stage (a
+    // nonlinear front that both render paths execute identically, with
+    // its own `vibration_*`/`end_to_end_trial` coverage) would only
+    // add a fixed cost to both sides and blur what the render paths
+    // themselves cost.
+    let scene_src = gen::chirp(120.0, 3_000.0, 0.3, 16_000, 2.0);
+    let scene_path = thrubarrier_acoustics::AcousticPath {
+        room: thrubarrier_acoustics::Room::paper_room(thrubarrier_acoustics::RoomId::A),
+        through_barrier: true,
+        distance_m: 2.0,
+        loudspeaker: None,
+        render: thrubarrier_acoustics::RenderPath::Fused,
+    };
+    let scene_mic = thrubarrier_acoustics::Microphone::phone();
+    out.insert(
+        "scene_record_2s",
+        median_ns(iters, || {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(scene_path.record(black_box(&scene_src), 16_000, &scene_mic, &mut rng));
+        }),
+    );
+    let staged_scene_path = scene_path
+        .clone()
+        .with_render(thrubarrier_acoustics::RenderPath::Staged);
+    out.insert(
+        "scene_record_2s_staged",
+        median_ns(iters, || {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(staged_scene_path.record(
+                black_box(&scene_src),
+                16_000,
+                &scene_mic,
+                &mut rng,
+            ));
+        }),
+    );
+
+    // Same asserted guard as the vibration engine: a scene-engine
+    // regression fails the bench run rather than recording a snapshot.
+    let (fused_ns, staged_ns) = (out["scene_record_2s"], out["scene_record_2s_staged"]);
+    assert!(
+        fused_ns <= staged_ns,
+        "scene_parity: fused path {fused_ns} ns slower than staged {staged_ns} ns at 2 s inputs"
+    );
+    out.insert(
+        "scene_parity_speedup_x1000",
+        staged_ns * 1_000 / fused_ns.max(1),
+    );
+
     let mut pair_system = DefenseSystem::paper_default();
     pair_system.synchronize = false; // isolate conversion + correlation
     let va_1s = thrubarrier_dsp::AudioBuffer::new(one_sec.clone(), 16_000);

@@ -167,6 +167,43 @@ impl FftPlan {
 thread_local! {
     static PLANS: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    static ROOTS: RefCell<HashMap<usize, Rc<Vec<Complex>>>> = RefCell::new(HashMap::new());
+}
+
+/// The `n` complex unit roots `exp(-i·2π·m/n)` for `m = 0..n`, from a
+/// per-thread cache keyed by `n`.
+///
+/// This is the exact-phase lookup table for frequency-domain delays: a
+/// time shift by `d` samples multiplies bin `k` of an `n`-point FFT by
+/// `exp(-i·2πkd/n)`, which is entry `(k·d) mod n` of this table. Fused
+/// pipelines that fold delays into a combined transfer function (the
+/// acoustics scene engine's propagation delay and reverb taps) index
+/// the table instead of evaluating a sine/cosine pair per bin per tap —
+/// and unlike a `w *= w₁` recurrence the table is computed directly
+/// from each angle in `f64`, so phases are accurate to f32 rounding at
+/// any `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero (any positive `n` is accepted; the table is
+/// not tied to power-of-two transform sizes).
+pub fn unit_roots(n: usize) -> Rc<Vec<Complex>> {
+    assert!(n > 0, "unit_roots(0) has no roots");
+    ROOTS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(r) = cache.get(&n) {
+            return Rc::clone(r);
+        }
+        let table: Vec<Complex> = (0..n)
+            .map(|m| {
+                let ang = -std::f64::consts::TAU * m as f64 / n as f64;
+                Complex::new(ang.cos() as f32, ang.sin() as f32)
+            })
+            .collect();
+        let r = Rc::new(table);
+        cache.insert(n, Rc::clone(&r));
+        r
+    })
 }
 
 /// Reused per-thread buffers so the hot paths are allocation-free once

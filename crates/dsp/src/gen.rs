@@ -53,6 +53,28 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 
+/// Adds zero-mean Gaussian noise of standard deviation `std` to
+/// `signal` in place: one sweep, one [`standard_normal`] draw per
+/// sample, no temporary noise buffer. The draw sequence is identical
+/// to the open-coded `*v += std * standard_normal(rng)` loops this
+/// replaces, so seeded streams are unaffected by the refactor.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(signal: &mut [f32], std: f32, rng: &mut R) {
+    for v in signal.iter_mut() {
+        *v += std * standard_normal(rng);
+    }
+}
+
+/// [`add_gaussian_noise`] fused with a full-scale clamp to `[-1, 1]`:
+/// one sweep instead of a noise pass followed by a clamp pass. Each
+/// sample's draw lands before its clamp and samples are independent,
+/// so the result — and the RNG stream — are identical to the two-pass
+/// form this replaces.
+pub fn add_gaussian_noise_clamped<R: Rng + ?Sized>(signal: &mut [f32], std: f32, rng: &mut R) {
+    for v in signal.iter_mut() {
+        *v = (*v + std * standard_normal(rng)).clamp(-1.0, 1.0);
+    }
+}
+
 /// Returns `n` zeros — explicit silence, clearer at call sites than
 /// `vec![0.0; n]`.
 pub fn silence(n: usize) -> Vec<f32> {

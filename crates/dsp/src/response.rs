@@ -11,10 +11,20 @@
 //!
 //! [`ResponseCurve`] samples a gain closure once into a per-`(n_fft,
 //! sample_rate)` table; [`filter_cached`] keys those tables in a
-//! thread-local cache so repeated calls with the same device parameters
+//! two-level cache so repeated calls with the same device parameters
 //! (the common case — a device struct filtering many signals of similar
 //! length) reduce to a table lookup plus the planned real-FFT filter
 //! core, with zero per-call allocation of plan or gain state.
+//!
+//! The cache is a lock-free thread-local front over a process-wide
+//! `RwLock` backing store of `Arc` handles. The front absorbs the
+//! steady-state lookups; the backing store exists because the eval
+//! runner spawns *fresh* scoped worker threads for every
+//! `run_with_selector` call, and a purely thread-local cache dies with
+//! them — each new worker generation re-sampled every curve from
+//! scratch (a 31% miss rate in the PR 7 benchmark snapshot). Now a new
+//! thread's first lookup clones the `Arc` out of the shared store
+//! instead of re-evaluating the closure per bin.
 //!
 //! Cache keys are built with [`curve_key`] from a call-site salt plus the
 //! parameter values the closure captures. Distinct closures at one call
@@ -25,7 +35,7 @@ use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A gain-vs-frequency curve pre-sampled at the non-negative FFT bin
 /// frequencies of one `(n_fft, sample_rate)` pair.
@@ -108,9 +118,17 @@ impl ResponseCurve {
     }
 }
 
+type CurveKey = (u64, usize, u32);
+
 thread_local! {
-    static CURVES: RefCell<HashMap<(u64, usize, u32), Rc<ResponseCurve>>> =
-        RefCell::new(HashMap::new());
+    static CURVES: RefCell<HashMap<CurveKey, Arc<ResponseCurve>>> = RefCell::new(HashMap::new());
+}
+
+/// Process-wide backing store: curves sampled by any thread outlive the
+/// short-lived eval worker threads and seed their thread-local fronts.
+fn shared_curves() -> &'static RwLock<HashMap<CurveKey, Arc<ResponseCurve>>> {
+    static STORE: OnceLock<RwLock<HashMap<CurveKey, Arc<ResponseCurve>>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 /// Builds a cache key for [`filter_cached`] from a call-site `salt` and
@@ -156,18 +174,42 @@ pub fn cached_curve(
     n_fft: usize,
     sample_rate: u32,
     gain: impl Fn(f32) -> f32,
-) -> Rc<ResponseCurve> {
+) -> Arc<ResponseCurve> {
+    let full_key = (key, n_fft, sample_rate);
     CURVES.with(|cache| {
         let mut cache = cache.borrow_mut();
-        if let Some(c) = cache.get(&(key, n_fft, sample_rate)) {
+        if let Some(c) = cache.get(&full_key) {
             thrubarrier_obs::counter!("dsp.response_curve.hit").incr();
-            Rc::clone(c)
-        } else {
-            thrubarrier_obs::counter!("dsp.response_curve.miss").incr();
-            let c = Rc::new(ResponseCurve::sample(n_fft, sample_rate, gain));
-            cache.insert((key, n_fft, sample_rate), Rc::clone(&c));
-            c
+            return Arc::clone(c);
         }
+        // Thread-local miss: consult the process-wide store before
+        // paying the per-bin closure evaluation. Lock poisoning only
+        // means another thread panicked mid-access; the map itself is
+        // always in a consistent state, so recover the guard.
+        let shared = shared_curves();
+        if let Some(c) = shared
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&full_key)
+        {
+            thrubarrier_obs::counter!("dsp.response_curve.shared_hit").incr();
+            let c = Arc::clone(c);
+            cache.insert(full_key, Arc::clone(&c));
+            return c;
+        }
+        thrubarrier_obs::counter!("dsp.response_curve.miss").incr();
+        let c = Arc::new(ResponseCurve::sample(n_fft, sample_rate, gain));
+        // Another thread may have sampled the same curve while we did;
+        // keep whichever landed first so every thread shares one table.
+        let c = Arc::clone(
+            shared
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(full_key)
+                .or_insert(c),
+        );
+        cache.insert(full_key, Arc::clone(&c));
+        c
     })
 }
 
@@ -233,6 +275,21 @@ mod tests {
         assert_eq!(c.sample_rate(), 16_000);
         // Bin k samples the closure at k * fs / n.
         assert!((c.gains()[1] - 62.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn curves_survive_thread_death() {
+        // The eval runner respawns scoped worker threads per call;
+        // a fresh thread must get the already-sampled table from the
+        // process-wide store, not re-sample it.
+        let key = curve_key(0x5EED, &[123.0]);
+        let a = std::thread::spawn(move || cached_curve(key, 256, 16_000, |f| f + 1.0))
+            .join()
+            .unwrap();
+        let b = std::thread::spawn(move || cached_curve(key, 256, 16_000, |f| f + 1.0))
+            .join()
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second thread must reuse the table");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use thrubarrier_acoustics::engine::RenderPath;
 use thrubarrier_acoustics::loudspeaker::Loudspeaker;
 use thrubarrier_acoustics::mic::Microphone;
 use thrubarrier_acoustics::propagation::speech_gain_for_spl;
@@ -76,6 +77,7 @@ pub struct TrialGenerator {
     attacks: AttackGenerator,
     va_mic: Microphone,
     wearable_mic: Microphone,
+    render: RenderPath,
 }
 
 impl Default for TrialGenerator {
@@ -94,7 +96,16 @@ impl TrialGenerator {
             attacks: AttackGenerator::new(AUDIO_RATE),
             va_mic: Microphone::phone(),
             wearable_mic: Microphone::wearable(),
+            render: RenderPath::default(),
         }
+    }
+
+    /// The same generator with an explicit acoustic rendering
+    /// implementation for every trial's propagation (parity tests pin
+    /// [`RenderPath::Staged`]).
+    pub fn with_render(mut self, render: RenderPath) -> Self {
+        self.render = render;
+        self
     }
 
     /// The synthesizer used for command audio.
@@ -147,8 +158,10 @@ impl TrialGenerator {
         let source: Vec<f32> = utterance.iter().map(|&v| v * gain).collect();
         let (va, wearable) = self.record_pair(
             &source,
-            AcousticPath::direct(settings.room.clone(), settings.user_to_va_m),
-            AcousticPath::direct(settings.room.clone(), settings.mouth_to_wearable_m),
+            AcousticPath::direct(settings.room.clone(), settings.user_to_va_m)
+                .with_render(self.render),
+            AcousticPath::direct(settings.room.clone(), settings.mouth_to_wearable_m)
+                .with_render(self.render),
             rng,
         );
         Trial {
@@ -188,12 +201,14 @@ impl TrialGenerator {
             through_barrier: true,
             distance_m: settings.barrier_to_va_m,
             loudspeaker,
+            render: self.render,
         };
         let wearable_path = AcousticPath {
             room: settings.room.clone(),
             through_barrier: true,
             distance_m: settings.barrier_to_wearable_m,
             loudspeaker,
+            render: self.render,
         };
         let (va, wearable) = self.record_pair(&source, va_path, wearable_path, rng);
         Trial {
@@ -211,7 +226,8 @@ impl TrialGenerator {
         wearable_path: AcousticPath,
         rng: &mut R,
     ) -> (AudioBuffer, AudioBuffer) {
-        let _span = thrubarrier_obs::span!("eval.build.propagation");
+        // The `eval.build.propagation` span lives inside the scene
+        // engine now — one span per rendered path instead of per pair.
         let va = va_path.record(source, AUDIO_RATE, &self.va_mic, rng);
         let wearable_full = wearable_path.record(source, AUDIO_RATE, &self.wearable_mic, rng);
         // The wearable starts recording only once the WiFi trigger
@@ -241,6 +257,13 @@ pub struct TrialContext {
 impl TrialContext {
     /// Creates a context with everything derived from one seed.
     pub fn seeded(seed: u64) -> Self {
+        Self::seeded_with_render(seed, RenderPath::default())
+    }
+
+    /// Like [`TrialContext::seeded`] but with an explicit acoustic
+    /// rendering implementation — the fixed-seed fused-vs-staged eval
+    /// gates build one context per [`RenderPath`] from the same seed.
+    pub fn seeded_with_render(seed: u64, render: RenderPath) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let victim = SpeakerProfile::random(&mut rng);
         let adversary = SpeakerProfile::random(&mut rng);
@@ -249,7 +272,7 @@ impl TrialContext {
             settings: TrialSettings::default(),
             victim,
             adversary,
-            generator: TrialGenerator::new(),
+            generator: TrialGenerator::new().with_render(render),
             bank: CommandBank::standard(),
         }
     }

@@ -49,6 +49,58 @@ fn fused_and_staged_conversion_yield_same_roc() {
     assert_eq!(metrics[0].eer, metrics[1].eer, "EER diverged across paths");
 }
 
+/// End-to-end guard for the fused scene engine, in the same mold as the
+/// conversion gate above: trials *rendered* through the fused acoustic
+/// path must yield bitwise the same ROC AUC / EER as trials rendered
+/// through the staged oracle at a fixed seed. Unlike the conversion
+/// gate the recordings themselves differ at tolerance level here (the
+/// render happens during trial building), so this pins that those
+/// differences never reorder legitimate vs attack scores.
+#[test]
+fn fused_and_staged_render_yield_same_roc() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thrubarrier_acoustics::RenderPath;
+    use thrubarrier_attack::AttackKind;
+    use thrubarrier_defense::DefenseSystem;
+    use thrubarrier_eval::scenario::TrialContext;
+
+    let mut metrics = Vec::new();
+    for render in [RenderPath::Fused, RenderPath::Staged] {
+        // Same seed per render path: identical speakers, commands,
+        // sources and physics draws — only the render implementation
+        // differs.
+        let mut ctx = TrialContext::seeded_with_render(0xACE, render);
+        let mut trials = Vec::new();
+        for _ in 0..4 {
+            trials.push(ctx.legitimate_trial());
+            trials.push(ctx.attack_trial(AttackKind::Replay));
+            trials.push(ctx.attack_trial(AttackKind::HiddenVoice));
+        }
+        let sys = DefenseSystem::paper_default();
+        let mut legit = Vec::new();
+        let mut attack = Vec::new();
+        for (i, t) in trials.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(i as u64);
+            let s = sys.score(&t.va_recording, &t.wearable_recording, &mut rng);
+            if t.is_attack {
+                attack.push(s);
+            } else {
+                legit.push(s);
+            }
+        }
+        metrics.push(DetectionMetrics::from_scores(&legit, &attack));
+    }
+    assert_eq!(
+        metrics[0].auc, metrics[1].auc,
+        "AUC diverged across render paths"
+    );
+    assert_eq!(
+        metrics[0].eer, metrics[1].eer,
+        "EER diverged across render paths"
+    );
+}
+
 fn scores() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(0.0f32..1.0, 1..60)
 }

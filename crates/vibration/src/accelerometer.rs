@@ -146,7 +146,7 @@ impl Accelerometer {
         &self,
         n_fft: usize,
         sample_rate: u32,
-    ) -> std::rc::Rc<response::ResponseCurve> {
+    ) -> std::sync::Arc<response::ResponseCurve> {
         response::cached_curve(self.coupling_key, n_fft, sample_rate, |f| {
             self.coupling_gain(f)
         })

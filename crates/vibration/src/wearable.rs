@@ -43,7 +43,7 @@ impl WearableSpeaker {
         &self,
         n_fft: usize,
         sample_rate: u32,
-    ) -> std::rc::Rc<thrubarrier_dsp::response::ResponseCurve> {
+    ) -> std::sync::Arc<thrubarrier_dsp::response::ResponseCurve> {
         let lo = self.low_hz;
         let hi = self.high_hz.min(sample_rate as f32 / 2.0 * 0.98);
         let key = thrubarrier_dsp::response::curve_key(0x5753_504B, &[lo, hi]);
